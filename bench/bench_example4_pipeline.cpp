@@ -1,0 +1,92 @@
+// Experiment X1 (DESIGN.md): the paper's headline result. The Example 4
+// query is executed (a) as translated ("straightforward evaluation") and
+// (b) after semantic optimization, which — given E1–E5 — yields plan PQ:
+//   retrieve_by_string('implementation') INTERSECTION
+//   select_by_index('Query Optimization').sections.paragraphs.
+// The paper claims PQ "can be evaluated much more efficiently"; the
+// speedup must grow with corpus size. An ablation series shows the plan
+// degrading as equivalences are removed (the §2.3 claim that the plan is
+// unreachable without schema-specific knowledge).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace vodak;
+
+const char* kQuery =
+    "ACCESS p FROM p IN Paragraph "
+    "WHERE p->contains_string('implementation') "
+    "AND (p->document()).title == 'Query Optimization'";
+
+bench::Scenario& ScenarioFor(int num_docs, int knowledge_mask) {
+  // knowledge_mask: bit i set -> E(i+1) registered (bit 5 = LARGE).
+  return bench::CachedScenario(
+      num_docs * 100 + knowledge_mask, [num_docs, knowledge_mask] {
+        workload::CorpusParams params;
+        params.num_documents = static_cast<uint32_t>(num_docs);
+        params.implementation_fraction = 0.1;
+        std::set<std::string> knowledge;
+        const char* names[] = {"E1", "E2", "E3", "E4", "E5", "LARGE"};
+        for (int i = 0; i < 6; ++i) {
+          if (knowledge_mask & (1 << i)) knowledge.insert(names[i]);
+        }
+        if (knowledge.empty()) knowledge.insert("__none__");
+        return bench::MakeScenario(params, knowledge);
+      });
+}
+
+void BM_Example4_Naive(benchmark::State& state) {
+  auto& scenario = ScenarioFor(static_cast<int>(state.range(0)), 0x3f);
+  for (auto _ : state) {
+    auto result = scenario.session->Run(kQuery, {/*optimize=*/false});
+    VODAK_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().result);
+  }
+  state.counters["paragraphs"] =
+      static_cast<double>(state.range(0)) * 12;
+}
+BENCHMARK(BM_Example4_Naive)->Arg(20)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_Example4_Optimized(benchmark::State& state) {
+  auto& scenario = ScenarioFor(static_cast<int>(state.range(0)), 0x3f);
+  double opt_ms = 0;
+  double cost_ratio = 0;
+  for (auto _ : state) {
+    auto result = scenario.session->Run(kQuery, {/*optimize=*/true});
+    VODAK_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().result);
+    opt_ms = result.value().optimize_ms;
+    cost_ratio = result.value().original_cost /
+                 std::max(1.0, result.value().chosen_cost);
+  }
+  state.counters["optimize_ms"] = opt_ms;
+  state.counters["est_cost_ratio"] = cost_ratio;
+}
+BENCHMARK(BM_Example4_Optimized)->Arg(20)->Arg(100)->Arg(400)->Arg(1000);
+
+// Ablation: which equivalences are available changes the reachable plan.
+// mask 0x3f = all, 0x1f = no LARGE (same plan), 0x1d = no E2 (no title
+// index path), 0x0f = no E5 (no IR scan), 0 = none (plain plan).
+void BM_Example4_Ablation(benchmark::State& state) {
+  auto& scenario =
+      ScenarioFor(200, static_cast<int>(state.range(0)));
+  double cost = 0;
+  for (auto _ : state) {
+    auto result = scenario.session->Run(kQuery, {/*optimize=*/true});
+    VODAK_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().result);
+    cost = result.value().chosen_cost;
+  }
+  state.counters["est_plan_cost"] = cost;
+}
+BENCHMARK(BM_Example4_Ablation)
+    ->Arg(0x3f)   // all knowledge -> PQ
+    ->Arg(0x1d)   // without E2: no select_by_index path
+    ->Arg(0x0f)   // without E5: no retrieve_by_string scan
+    ->Arg(0x00);  // no knowledge: straightforward plan
+
+}  // namespace
+
+BENCHMARK_MAIN();

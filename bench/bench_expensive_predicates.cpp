@@ -1,0 +1,81 @@
+// Experiment X2: the §2.3 observation (after [14]) that methods are not
+// uniform-cost attributes, so predicate ORDER matters. The same
+// conjunctive query is executed with the expensive IR predicate first
+// (as written), cheap-first (hand-reordered) and optimizer-ordered; the
+// optimizer must match the cheap-first ordering via select-commute +
+// method cost annotations.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace vodak;
+
+// Expensive predicate first, as a careless user writes it.
+const char* kExpensiveFirst =
+    "ACCESS p FROM p IN Paragraph WHERE "
+    "p->contains_string('implementation') AND p.number == 0";
+// Cheap structural predicate first.
+const char* kCheapFirst =
+    "ACCESS p FROM p IN Paragraph WHERE "
+    "p.number == 0 AND p->contains_string('implementation')";
+
+bench::Scenario& ScenarioFor(int num_docs) {
+  return bench::CachedScenario(num_docs, [num_docs] {
+    workload::CorpusParams params;
+    params.num_documents = static_cast<uint32_t>(num_docs);
+    params.paragraphs_per_section = 6;  // numbers 0..5: cheap pred ~1/6
+    params.implementation_fraction = 0.3;
+    // Only E1 registered: no IR rewrite available, ordering is the only
+    // optimization left — isolates the predicate-migration effect.
+    return bench::MakeScenario(params, {"E1"});
+  });
+}
+
+void RunFixed(benchmark::State& state, const char* query) {
+  auto& scenario = ScenarioFor(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    // optimize=false executes predicates in written order
+    // (short-circuit AND, left to right).
+    auto result = scenario.session->Run(query, {/*optimize=*/false});
+    VODAK_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().result);
+  }
+  scenario.db->ResetCounters();
+  auto result = scenario.session->Run(query, {false});
+  state.counters["contains_calls"] =
+      static_cast<double>(scenario.db->methods().invocation_count(
+          "Paragraph", "contains_string", MethodLevel::kInstance));
+}
+
+void BM_ExpensiveFirst(benchmark::State& state) {
+  RunFixed(state, kExpensiveFirst);
+}
+BENCHMARK(BM_ExpensiveFirst)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_CheapFirst(benchmark::State& state) {
+  RunFixed(state, kCheapFirst);
+}
+BENCHMARK(BM_CheapFirst)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_OptimizerOrdered(benchmark::State& state) {
+  auto& scenario = ScenarioFor(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    // Written expensive-first; the optimizer must flip the order.
+    auto result = scenario.session->Run(kExpensiveFirst,
+                                        {/*optimize=*/true});
+    VODAK_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().result);
+  }
+  scenario.db->ResetCounters();
+  (void)scenario.session->Run(kExpensiveFirst, {true});
+  state.counters["contains_calls"] =
+      static_cast<double>(scenario.db->methods().invocation_count(
+          "Paragraph", "contains_string", MethodLevel::kInstance));
+}
+BENCHMARK(BM_OptimizerOrdered)->Arg(50)->Arg(200)->Arg(800);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Experiment X4: the §4.2 condition-implication example. The query
+// filters paragraphs by wordCount() > threshold, which recomputes the
+// word count per paragraph. With the LARGE implication registered the
+// optimizer introduces natural_join with the precomputed
+// Document.largeParagraphs sets ("very interesting for finding efficient
+// execution plans in the presence of precomputed information").
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace vodak;
+
+std::string Query(uint32_t threshold) {
+  return "ACCESS p FROM p IN Paragraph WHERE p->wordCount() > " +
+         std::to_string(threshold);
+}
+
+bench::Scenario& ScenarioFor(int num_docs, bool with_knowledge) {
+  return bench::CachedScenario(
+      num_docs * 2 + (with_knowledge ? 1 : 0), [=] {
+        workload::CorpusParams params;
+        params.num_documents = static_cast<uint32_t>(num_docs);
+        params.large_paragraph_fraction = 0.1;
+        return bench::MakeScenario(
+            params, with_knowledge
+                        ? std::set<std::string>{"LARGE"}
+                        : std::set<std::string>{"__none__"});
+      });
+}
+
+void BM_WordCount_Recomputed(benchmark::State& state) {
+  auto& scenario = ScenarioFor(static_cast<int>(state.range(0)), false);
+  std::string query = Query(scenario.db->params().large_paragraph_threshold);
+  for (auto _ : state) {
+    auto result = scenario.session->Run(query, {/*optimize=*/false});
+    VODAK_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().result);
+  }
+  scenario.db->ResetCounters();
+  (void)scenario.session->Run(query, {false});
+  state.counters["wordCount_calls"] =
+      static_cast<double>(scenario.db->methods().invocation_count(
+          "Paragraph", "wordCount", MethodLevel::kInstance));
+}
+BENCHMARK(BM_WordCount_Recomputed)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_WordCount_WithImplication(benchmark::State& state) {
+  auto& scenario = ScenarioFor(static_cast<int>(state.range(0)), true);
+  std::string query = Query(scenario.db->params().large_paragraph_threshold);
+  for (auto _ : state) {
+    auto result = scenario.session->Run(query, {/*optimize=*/true});
+    VODAK_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().result);
+  }
+  scenario.db->ResetCounters();
+  (void)scenario.session->Run(query, {true});
+  state.counters["wordCount_calls"] =
+      static_cast<double>(scenario.db->methods().invocation_count(
+          "Paragraph", "wordCount", MethodLevel::kInstance));
+}
+BENCHMARK(BM_WordCount_WithImplication)->Arg(50)->Arg(200)->Arg(800);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Experiment X3: the inverse-link equivalences E3/E4 (§5.1 "redundant
+// structures ... provided in order to gain simple and efficient access").
+// The query restricts paragraphs to those of an indexed document set.
+// Upward evaluation chases p.section.document per paragraph; downward
+// evaluation (after E3+E4) expands D.sections.paragraphs from the small
+// document set. Downward must win when |D| is small; the series sweeps
+// the number of matching documents via the title.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace vodak;
+
+const char* kQuery =
+    "ACCESS p FROM p IN Paragraph WHERE p.section.document IS-IN "
+    "Document->select_by_index('Query Optimization')";
+
+bench::Scenario& ScenarioFor(int num_docs, bool with_knowledge) {
+  return bench::CachedScenario(
+      num_docs * 2 + (with_knowledge ? 1 : 0), [=] {
+        workload::CorpusParams params;
+        params.num_documents = static_cast<uint32_t>(num_docs);
+        params.sections_per_document = 3;
+        params.paragraphs_per_section = 4;
+        return bench::MakeScenario(
+            params, with_knowledge
+                        ? std::set<std::string>{"E3", "E4"}
+                        : std::set<std::string>{"__none__"});
+      });
+}
+
+void BM_InverseLinks_Upward(benchmark::State& state) {
+  auto& scenario = ScenarioFor(static_cast<int>(state.range(0)), false);
+  for (auto _ : state) {
+    auto result = scenario.session->Run(kQuery, {/*optimize=*/false});
+    VODAK_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().result);
+  }
+  scenario.db->ResetCounters();
+  (void)scenario.session->Run(kQuery, {false});
+  state.counters["property_reads"] = static_cast<double>(
+      scenario.db->store().stats().property_reads);
+}
+BENCHMARK(BM_InverseLinks_Upward)->Arg(20)->Arg(100)->Arg(500);
+
+void BM_InverseLinks_Downward(benchmark::State& state) {
+  auto& scenario = ScenarioFor(static_cast<int>(state.range(0)), true);
+  for (auto _ : state) {
+    auto result = scenario.session->Run(kQuery, {/*optimize=*/true});
+    VODAK_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().result);
+  }
+  scenario.db->ResetCounters();
+  (void)scenario.session->Run(kQuery, {true});
+  state.counters["property_reads"] = static_cast<double>(
+      scenario.db->store().stats().property_reads);
+}
+BENCHMARK(BM_InverseLinks_Downward)->Arg(20)->Arg(100)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

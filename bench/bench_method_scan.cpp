@@ -1,0 +1,78 @@
+// Experiment X6: methods as algebraic operators (§3.2) at the physical
+// level. Compares evaluating the IR predicate per object (extent scan +
+// contains_string filter) against the set-at-a-time external method scan
+// (retrieve_by_string), sweeping the hit rate. Also measures the two
+// index substrates directly.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "exec/physical.h"
+#include "vql/parser.h"
+
+namespace {
+
+using namespace vodak;
+
+bench::Scenario& ScenarioFor(int hit_percent) {
+  return bench::CachedScenario(hit_percent, [=] {
+    workload::CorpusParams params;
+    params.num_documents = 300;
+    params.implementation_fraction = hit_percent / 100.0;
+    return bench::MakeScenario(params, {"E5"});
+  });
+}
+
+void BM_PerObjectFilter(benchmark::State& state) {
+  auto& scenario = ScenarioFor(static_cast<int>(state.range(0)));
+  const char* query =
+      "ACCESS p FROM p IN Paragraph WHERE "
+      "p->contains_string('implementation')";
+  for (auto _ : state) {
+    auto result = scenario.session->Run(query, {/*optimize=*/false});
+    VODAK_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().result);
+  }
+}
+BENCHMARK(BM_PerObjectFilter)->Arg(2)->Arg(10)->Arg(50);
+
+void BM_ExternalMethodScan(benchmark::State& state) {
+  auto& scenario = ScenarioFor(static_cast<int>(state.range(0)));
+  // The optimizer rewrites the same query into the method scan via E5.
+  const char* query =
+      "ACCESS p FROM p IN Paragraph WHERE "
+      "p->contains_string('implementation')";
+  for (auto _ : state) {
+    auto result = scenario.session->Run(query, {/*optimize=*/true});
+    VODAK_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().result);
+  }
+  scenario.db->ResetCounters();
+  auto result = scenario.session->Run(query, {true});
+  state.counters["hits"] =
+      static_cast<double>(result.value().result.AsSet().size());
+}
+BENCHMARK(BM_ExternalMethodScan)->Arg(2)->Arg(10)->Arg(50);
+
+// Micro: the inverted index search alone.
+void BM_InvertedIndexSearch(benchmark::State& state) {
+  auto& scenario = ScenarioFor(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto hits = scenario.db->paragraph_index().Search("implementation");
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_InvertedIndexSearch)->Arg(10);
+
+// Micro: the ordered title index alone.
+void BM_TitleIndexLookup(benchmark::State& state) {
+  auto& scenario = ScenarioFor(10);
+  for (auto _ : state) {
+    auto hits = scenario.db->title_index().Lookup("Query Optimization");
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_TitleIndexLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

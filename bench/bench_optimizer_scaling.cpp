@@ -1,0 +1,80 @@
+// Experiment X5: cost of the optimization itself. §6 adopts Volcano
+// because it "has been shown to be very efficient"; this harness
+// measures optimization wall time and memo sizes as (a) the number of
+// registered semantic rules grows and (b) the number of query ranges
+// (joins) grows. The paper's viability argument requires optimization to
+// stay in the milliseconds at schema scale.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace vodak;
+
+bench::Scenario& ScenarioFor(int knowledge_count) {
+  return bench::CachedScenario(knowledge_count, [=] {
+    workload::CorpusParams params;
+    params.num_documents = 50;
+    std::set<std::string> knowledge = {"__none__"};
+    const char* names[] = {"E1", "E2", "E3", "E4", "E5", "LARGE"};
+    for (int i = 0; i < knowledge_count; ++i) knowledge.insert(names[i]);
+    return bench::MakeScenario(params, knowledge);
+  });
+}
+
+// Optimization time of the Example 4 query vs number of registered
+// semantic equivalences (0..6).
+void BM_OptimizeTime_vs_Rules(benchmark::State& state) {
+  auto& scenario = ScenarioFor(static_cast<int>(state.range(0)));
+  const char* query =
+      "ACCESS p FROM p IN Paragraph "
+      "WHERE p->contains_string('implementation') "
+      "AND (p->document()).title == 'Query Optimization'";
+  size_t exprs = 0;
+  size_t groups = 0;
+  for (auto _ : state) {
+    auto result = scenario.session->Run(query, {/*optimize=*/true});
+    VODAK_CHECK(result.ok());
+    exprs = result.value().memo_exprs;
+    groups = result.value().memo_groups;
+    benchmark::DoNotOptimize(result.value().chosen_cost);
+  }
+  state.counters["memo_exprs"] = static_cast<double>(exprs);
+  state.counters["memo_groups"] = static_cast<double>(groups);
+}
+BENCHMARK(BM_OptimizeTime_vs_Rules)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6);
+
+// Optimization time vs number of ranges (join reordering space).
+void BM_OptimizeTime_vs_Joins(benchmark::State& state) {
+  auto& scenario = ScenarioFor(6);
+  std::string query = "ACCESS p1.number FROM p1 IN Paragraph";
+  for (int i = 2; i <= state.range(0); ++i) {
+    query += ", p" + std::to_string(i) + " IN Paragraph";
+  }
+  query += " WHERE p1.number == 0";
+  for (int i = 2; i <= state.range(0); ++i) {
+    query += " AND p" + std::to_string(i - 1) + "->sameDocument(p" +
+             std::to_string(i) + ")";
+  }
+  size_t exprs = 0;
+  for (auto _ : state) {
+    // Plan only: executing a 3-way self-join would swamp the signal.
+    auto result = scenario.session->Run(
+        query, {/*optimize=*/true, /*trace=*/false, /*execute=*/false});
+    VODAK_CHECK(result.ok()) << result.status().ToString();
+    exprs = result.value().memo_exprs;
+    benchmark::DoNotOptimize(result.value().chosen_cost);
+  }
+  state.counters["memo_exprs"] = static_cast<double>(exprs);
+}
+BENCHMARK(BM_OptimizeTime_vs_Joins)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Experiment X7: the rule machinery itself. Measures (a) deriving
+// optimizer rules from knowledge specifications (§4.2's lifting, part of
+// the §7 per-schema generation step), (b) generating a complete
+// optimizer module, and (c) a single parameter-rewrite-driven
+// optimization pass (one equivalence, one query).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "semantics/generator.h"
+
+namespace {
+
+using namespace vodak;
+
+void BM_KnowledgeRegistration(benchmark::State& state) {
+  auto& scenario = bench::CachedScenario(1, [] {
+    workload::CorpusParams params;
+    params.num_documents = 10;
+    return bench::MakeScenario(params);
+  });
+  for (auto _ : state) {
+    semantics::KnowledgeBase kb(&scenario.db->catalog());
+    VODAK_CHECK(kb.AddExprEquivalence("E1", "p", "Paragraph",
+                                      "p->document()",
+                                      "p.section.document")
+                    .ok());
+    VODAK_CHECK(kb.AddCondEquivalence(
+                       "E2", "d", "Document", "d.title == s",
+                       "d IS-IN Document->select_by_index(s)")
+                    .ok());
+    VODAK_CHECK(kb.AddCondEquivalence("E3", "p", "Paragraph",
+                                      "p.section.document IS-IN D",
+                                      "p.section IS-IN D.sections")
+                    .ok());
+    benchmark::DoNotOptimize(kb.size());
+  }
+}
+BENCHMARK(BM_KnowledgeRegistration);
+
+void BM_RuleDerivation(benchmark::State& state) {
+  auto& scenario = bench::CachedScenario(1, [] {
+    workload::CorpusParams params;
+    params.num_documents = 10;
+    return bench::MakeScenario(params);
+  });
+  const semantics::KnowledgeBase& kb = scenario.session->knowledge();
+  for (auto _ : state) {
+    auto rules = kb.DeriveRules();
+    benchmark::DoNotOptimize(rules.size());
+  }
+}
+BENCHMARK(BM_RuleDerivation);
+
+void BM_OptimizerGeneration(benchmark::State& state) {
+  auto& scenario = bench::CachedScenario(1, [] {
+    workload::CorpusParams params;
+    params.num_documents = 10;
+    return bench::MakeScenario(params);
+  });
+  semantics::OptimizerGenerator generator(&scenario.db->catalog(),
+                                          &scenario.db->store(),
+                                          &scenario.db->methods());
+  for (auto _ : state) {
+    auto generated = generator.Generate(&scenario.session->knowledge());
+    VODAK_CHECK(generated.ok());
+    benchmark::DoNotOptimize(generated.value().optimizer.get());
+  }
+}
+BENCHMARK(BM_OptimizerGeneration);
+
+void BM_SingleEquivalenceRewrite(benchmark::State& state) {
+  auto& scenario = bench::CachedScenario(2, [] {
+    workload::CorpusParams params;
+    params.num_documents = 10;
+    return bench::MakeScenario(params, {"E1"});
+  });
+  const char* query =
+      "ACCESS p FROM p IN Paragraph WHERE "
+      "(p->document()).title == 'Query Optimization'";
+  for (auto _ : state) {
+    auto result = scenario.session->Run(
+        query, {/*optimize=*/true, /*trace=*/false, /*execute=*/false});
+    VODAK_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value().chosen_cost);
+  }
+}
+BENCHMARK(BM_SingleEquivalenceRewrite);
+
+}  // namespace
+
+BENCHMARK_MAIN();

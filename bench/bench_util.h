@@ -1,0 +1,47 @@
+#ifndef VODAK_BENCH_BENCH_UTIL_H_
+#define VODAK_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "workload/document_knowledge.h"
+
+namespace vodak {
+namespace bench {
+
+/// A populated document database plus a wired session, cached per
+/// parameter combination so google-benchmark iterations don't pay the
+/// corpus build repeatedly.
+struct Scenario {
+  std::unique_ptr<workload::DocumentDb> db;
+  std::unique_ptr<engine::Database> session;
+};
+
+inline Scenario MakeScenario(const workload::CorpusParams& params,
+                             const std::set<std::string>& knowledge = {}) {
+  Scenario scenario;
+  scenario.db = std::make_unique<workload::DocumentDb>();
+  VODAK_CHECK(scenario.db->Init().ok());
+  VODAK_CHECK(scenario.db->Populate(params).ok());
+  auto session = workload::MakePaperSession(scenario.db.get(), knowledge);
+  VODAK_CHECK(session.ok()) << session.status().ToString();
+  scenario.session = std::move(session).value();
+  return scenario;
+}
+
+/// Cache keyed by an integer id the benchmark derives from its Args().
+inline Scenario& CachedScenario(
+    int key, const std::function<Scenario()>& factory) {
+  static std::map<int, Scenario>* cache = new std::map<int, Scenario>();
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, factory()).first;
+  }
+  return it->second;
+}
+
+}  // namespace bench
+}  // namespace vodak
+
+#endif  // VODAK_BENCH_BENCH_UTIL_H_

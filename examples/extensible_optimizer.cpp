@@ -1,0 +1,114 @@
+// Demonstrates the §7 extensibility story on a *fresh* schema that has
+// nothing to do with documents: a Person/City schema with an age()
+// method over a stored birth year (derived data, §5.1). The schema
+// designer declares two pieces of knowledge, the generator builds a new
+// optimizer module for the schema, and the optimizer rewrites queries it
+// could never rewrite otherwise.  Run: ./build/examples/extensible_optimizer
+#include <iostream>
+
+#include "engine/database.h"
+#include "workload/document_db.h"
+
+using namespace vodak;
+
+int main() {
+  // -- schema ------------------------------------------------------------
+  Catalog catalog;
+  ObjectStore store;
+  MethodRegistry methods;
+
+  ClassDef* person = catalog.DefineClass("Person").value();
+  (void)person->AddProperty("name", Type::String());
+  (void)person->AddProperty("birthYear", Type::Int());
+  (void)person->AddProperty("home", Type::OidOf("City"));
+  (void)person->AddMethod(
+      {"age", {}, Type::Int(), MethodLevel::kInstance});
+  ClassDef* city = catalog.DefineClass("City").value();
+  (void)city->AddProperty("name", Type::String());
+  (void)city->AddProperty("inhabitants",
+                          Type::SetOf(Type::OidOf("Person")));
+
+  uint32_t person_id = store.RegisterClass("Person", 3);
+  uint32_t city_id = store.RegisterClass("City", 2);
+
+  // age(): derived from the stored birth year — internal encoding.
+  const int64_t kCurrentYear = 1995;  // the paper's year, fittingly
+  MethodImpl age_impl;
+  age_impl.kind = MethodImplKind::kNative;
+  age_impl.native = [kCurrentYear](MethodCallContext& ctx,
+                                   const Value& self,
+                                   const std::vector<Value>&)
+      -> Result<Value> {
+    VODAK_ASSIGN_OR_RETURN(
+        Value year, ReadPropertyByName(*ctx.catalog, *ctx.store,
+                                       self.AsOid(), "birthYear"));
+    return Value::Int(kCurrentYear - year.AsInt());
+  };
+  (void)methods.Register("Person",
+                         {"age", {}, Type::Int(), MethodLevel::kInstance},
+                         std::move(age_impl), {4.0, 0.5, 1.0});
+
+  // -- data ---------------------------------------------------------------
+  Oid metropolis = store.CreateObject(city_id).value();
+  (void)store.SetProperty(metropolis, 0, Value::String("Metropolis"));
+  std::vector<Value> inhabitants;
+  for (int i = 0; i < 100; ++i) {
+    Oid p = store.CreateObject(person_id).value();
+    (void)store.SetProperty(p, 0,
+                            Value::String("P" + std::to_string(i)));
+    (void)store.SetProperty(p, 1, Value::Int(1930 + (i * 7) % 60));
+    (void)store.SetProperty(p, 2, Value::OfOid(metropolis));
+    inhabitants.push_back(Value::OfOid(p));
+  }
+  (void)store.SetProperty(metropolis, 1, Value::Set(inhabitants));
+
+  // -- knowledge + per-schema optimizer generation (§7) --------------------
+  engine::Database session(&catalog, &store, &methods);
+  // The derived-data equivalence: age() unfolds to arithmetic over the
+  // stored property (expression equivalence, §4.2).
+  auto s1 = session.knowledge().AddExprEquivalence(
+      "AGE", "x", "Person", "x->age()",
+      "1995 - x.birthYear");
+  // The inverse link between home and inhabitants (condition
+  // equivalence, like E3/E4).
+  auto s2 = session.knowledge().AddCondEquivalence(
+      "HOME", "x", "Person", "x.home == c", "x IS-IN c.inhabitants");
+  if (!s1.ok() || !s2.ok()) {
+    std::cerr << s1.ToString() << " / " << s2.ToString() << "\n";
+    return 1;
+  }
+  if (auto s = session.GenerateOptimizer(); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+
+  const std::string query =
+      "ACCESS x.name FROM x IN Person "
+      "WHERE x->age() > 40 AND x.home == "
+      "NIL";  // placeholder, replaced below
+  // Queries over the new schema:
+  for (const char* q : {
+           "ACCESS x.name FROM x IN Person WHERE x->age() > 40",
+           "ACCESS x.name FROM x IN Person, c IN City "
+           "WHERE x.home == c AND c.name == 'Metropolis' AND "
+           "x->age() > 40",
+       }) {
+    auto explained = session.Explain(q, {/*optimize=*/true,
+                                         /*trace=*/true});
+    if (!explained.ok()) {
+      std::cerr << explained.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << explained.value() << "\n";
+    auto optimized = session.Run(q, {true, false});
+    auto naive = session.RunNaive(q);
+    std::cout << "results match naive: "
+              << (optimized.ok() && naive.ok() &&
+                          optimized.value().result == naive.value()
+                      ? "yes"
+                      : "NO")
+              << "\n\n";
+  }
+  (void)query;
+  return 0;
+}

@@ -1,0 +1,31 @@
+#ifndef VODAK_ALGEBRA_EVAL_H_
+#define VODAK_ALGEBRA_EVAL_H_
+
+#include "algebra/logical.h"
+#include "expr/expr_eval.h"
+
+namespace vodak {
+namespace algebra {
+
+/// Direct (unoptimized) evaluation of a logical algebra expression,
+/// literally implementing the set comprehensions of §4.1. The result is a
+/// SET of TUPLE values over the node's references.
+///
+/// This evaluator is the semantic oracle for the optimizer: a
+/// transformation rule is sound iff both sides evaluate to the same set
+/// on every database, and the property tests check exactly that. It is
+/// deliberately naive — the efficient path is the physical executor.
+Result<Value> EvalLogical(const LogicalRef& node,
+                          const ExprEvaluator& evaluator);
+
+/// Projects the result of EvalLogical onto a single reference, unwrapping
+/// the tuples: {[p: v]} becomes {v}. Used to compare plan results with
+/// the VQL interpreter's value sets.
+Result<Value> EvalLogicalColumn(const LogicalRef& node,
+                                const std::string& ref,
+                                const ExprEvaluator& evaluator);
+
+}  // namespace algebra
+}  // namespace vodak
+
+#endif  // VODAK_ALGEBRA_EVAL_H_

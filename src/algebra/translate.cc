@@ -1,0 +1,61 @@
+#include "algebra/translate.h"
+
+namespace vodak {
+namespace algebra {
+
+std::string ResultRef(const vql::BoundQuery& query) {
+  if (query.access->kind() == ExprKind::kVar) {
+    return query.access->var_name();
+  }
+  return kOutputRef;
+}
+
+Result<LogicalRef> TranslateQuery(const AlgebraContext& ctx,
+                                  const vql::BoundQuery& query) {
+  if (query.from.empty()) {
+    return Status::PlanError("query has no FROM ranges");
+  }
+
+  LogicalRef accum;
+  for (const auto& range : query.from) {
+    if (range.kind == vql::RangeKind::kExtent) {
+      VODAK_ASSIGN_OR_RETURN(LogicalRef get,
+                             ctx.Get(range.var, range.class_name));
+      if (accum == nullptr) {
+        accum = std::move(get);
+      } else {
+        VODAK_ASSIGN_OR_RETURN(
+            accum, ctx.Join(Expr::Const(Value::Bool(true)),
+                            std::move(accum), std::move(get)));
+      }
+      continue;
+    }
+    // Dependent range.
+    if (accum == nullptr) {
+      if (!range.domain->FreeVars().empty()) {
+        return Status::PlanError("first range '" + range.var +
+                                 "' depends on unbound variables");
+      }
+      VODAK_ASSIGN_OR_RETURN(accum,
+                             ctx.ExprSource(range.var, range.domain));
+      continue;
+    }
+    VODAK_ASSIGN_OR_RETURN(
+        accum, ctx.Flat(range.var, range.domain, std::move(accum)));
+  }
+
+  if (query.where != nullptr) {
+    VODAK_ASSIGN_OR_RETURN(accum,
+                           ctx.Select(query.where, std::move(accum)));
+  }
+
+  std::string out_ref = ResultRef(query);
+  if (out_ref == kOutputRef) {
+    VODAK_ASSIGN_OR_RETURN(
+        accum, ctx.Map(kOutputRef, query.access, std::move(accum)));
+  }
+  return ctx.Project({out_ref}, std::move(accum));
+}
+
+}  // namespace algebra
+}  // namespace vodak

@@ -1,0 +1,39 @@
+#ifndef VODAK_ALGEBRA_TRANSLATE_H_
+#define VODAK_ALGEBRA_TRANSLATE_H_
+
+#include "algebra/logical.h"
+#include "vql/ast.h"
+
+namespace vodak {
+namespace algebra {
+
+/// Reference name used for the ACCESS expression result column.
+inline const char* kOutputRef = "$out";
+
+/// Translates a bound VQL query into the general algebra following the
+/// §4.1 mapping:
+///
+///   project<$out>(map<$out, access>(select<cond>(
+///       join<TRUE>(get<a_n, C_n>, ... join<TRUE>(get<a_1, C_1>,
+///                                                get<a_2, C_2>)...))))
+///
+/// with two refinements for VQL features the mapping glosses over:
+///  - dependent ranges (Example 2) become flat<var, domain>(...) on top
+///    of the accumulated input, and a *leading* dependent range with a
+///    closed domain becomes an expr_source leaf;
+///  - when the query has no WHERE clause, the select is omitted.
+///
+/// As a convenience, when the ACCESS expression is exactly one range
+/// variable the map/$out indirection is skipped and the plan projects
+/// onto that variable, which matches how the paper writes plans like PQ.
+Result<LogicalRef> TranslateQuery(const AlgebraContext& ctx,
+                                  const vql::BoundQuery& query);
+
+/// The reference whose values form the query result in a translated
+/// plan (kOutputRef or the single access variable).
+std::string ResultRef(const vql::BoundQuery& query);
+
+}  // namespace algebra
+}  // namespace vodak
+
+#endif  // VODAK_ALGEBRA_TRANSLATE_H_

@@ -1,0 +1,62 @@
+#ifndef VODAK_COMMON_LOGGING_H_
+#define VODAK_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace vodak {
+namespace internal {
+
+/// Collects a failure message and aborts the process when destroyed.
+/// Used by VODAK_CHECK / VODAK_DCHECK for internal invariants only;
+/// user-facing errors travel through Status instead.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "FATAL " << file << ":" << line << " check failed: "
+            << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands when a check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace vodak
+
+#define VODAK_CHECK(cond)                                             \
+  (cond) ? (void)0                                                    \
+         : VodakCheckVoidify() &                                      \
+               ::vodak::internal::FatalLogMessage(__FILE__, __LINE__, \
+                                                  #cond)              \
+                   .stream()
+
+#ifndef NDEBUG
+#define VODAK_DCHECK(cond) VODAK_CHECK(cond)
+#else
+#define VODAK_DCHECK(cond) \
+  true ? (void)0 : VodakCheckVoidify() & ::vodak::internal::NullStream()
+#endif
+
+/// Helper giving the ternary in VODAK_CHECK a void-typed right arm.
+struct VodakCheckVoidify {
+  template <typename T>
+  friend void operator&(VodakCheckVoidify, T&&) {}
+};
+
+#endif  // VODAK_COMMON_LOGGING_H_

@@ -1,0 +1,76 @@
+#ifndef VODAK_COMMON_RESULT_H_
+#define VODAK_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace vodak {
+
+/// A Status plus, on success, a value of type T.
+///
+/// Usage:
+///   Result<int> Parse(...);
+///   VODAK_ASSIGN_OR_RETURN(int v, Parse(...));
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status: failure.
+  Result(Status status) : status_(std::move(status)) {
+    VODAK_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    VODAK_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    VODAK_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  /// By value on rvalues: `for (auto& x : F().value())` stays safe
+  /// because the returned prvalue's lifetime is extended by the range
+  /// binding, which a returned reference's would not be.
+  T value() && {
+    VODAK_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// The value, or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace vodak
+
+#define VODAK_CONCAT_IMPL(a, b) a##b
+#define VODAK_CONCAT(a, b) VODAK_CONCAT_IMPL(a, b)
+
+/// Evaluate a Result<T> expression; on error return the Status, on success
+/// bind the value to `lhs` (which may include a type declaration).
+#define VODAK_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  VODAK_ASSIGN_OR_RETURN_IMPL(VODAK_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define VODAK_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#endif  // VODAK_COMMON_RESULT_H_

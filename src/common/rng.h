@@ -1,0 +1,55 @@
+#ifndef VODAK_COMMON_RNG_H_
+#define VODAK_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vodak {
+
+/// Deterministic xorshift128+ generator. All workload generation in the
+/// repository uses this so that every test, example and benchmark is
+/// reproducible bit-for-bit across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipfian sampler over {0, .., n-1} with skew `theta` (theta = 0 means
+/// uniform). Used to give synthetic document text a realistic skewed term
+/// frequency distribution, which is what makes the inverted-index
+/// substitution for the paper's external IR engine behave realistically
+/// (few very frequent terms, a long tail of rare ones).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta, uint64_t seed);
+
+  size_t Next();
+
+  size_t n() const { return n_; }
+
+ private:
+  size_t n_;
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace vodak
+
+#endif  // VODAK_COMMON_RNG_H_

@@ -1,0 +1,94 @@
+#ifndef VODAK_COMMON_STATUS_H_
+#define VODAK_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace vodak {
+
+/// Error categories used across the library. Modeled on the RocksDB/Arrow
+/// Status idiom: cheap to pass by value, OK carries no allocation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kTypeError,
+  kBindError,
+  kPlanError,
+  kExecError,
+  kUnsupported,
+  kInternal,
+};
+
+/// Return-value based error propagation. All fallible public APIs return a
+/// Status or a Result<T>; exceptions are never thrown across module
+/// boundaries.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecError(std::string msg) {
+    return Status(StatusCode::kExecError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "ParseError: unexpected token".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Name of a status code, e.g. "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace vodak
+
+/// Propagate a non-OK Status from the current function.
+#define VODAK_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::vodak::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // VODAK_COMMON_STATUS_H_

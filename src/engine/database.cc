@@ -1,0 +1,126 @@
+#include "engine/database.h"
+
+#include <chrono>
+
+#include "algebra/translate.h"
+#include "vql/parser.h"
+
+namespace vodak {
+namespace engine {
+
+namespace {
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
+Database::Database(const Catalog* catalog, ObjectStore* store,
+                   MethodRegistry* methods)
+    : catalog_(catalog),
+      store_(store),
+      methods_(methods),
+      knowledge_(catalog) {}
+
+void Database::AddStatsProvider(opt::MethodStatsProvider provider) {
+  providers_.push_back(std::move(provider));
+}
+
+Status Database::GenerateOptimizer(opt::OptimizerOptions options) {
+  options_ = options;
+  semantics::OptimizerGenerator generator(catalog_, store_, methods_);
+  VODAK_ASSIGN_OR_RETURN(module_,
+                         generator.Generate(&knowledge_, providers_,
+                                            options));
+  return Status::OK();
+}
+
+Result<vql::BoundQuery> Database::Parse(const std::string& vql) const {
+  VODAK_ASSIGN_OR_RETURN(vql::Query query, vql::ParseQuery(vql));
+  vql::Binder binder(catalog_);
+  return binder.Bind(query);
+}
+
+Result<QueryResult> Database::Run(const std::string& vql,
+                                  const ExecOptions& options) {
+  VODAK_ASSIGN_OR_RETURN(vql::BoundQuery bound, Parse(vql));
+
+  // A throwaway algebra context suffices when no optimizer was
+  // generated.
+  algebra::AlgebraContext local_ctx(catalog_);
+  const algebra::AlgebraContext& ctx =
+      module_.algebra != nullptr ? *module_.algebra : local_ctx;
+
+  QueryResult out;
+  VODAK_ASSIGN_OR_RETURN(out.original_plan, algebra::TranslateQuery(ctx, bound));
+  out.chosen_plan = out.original_plan;
+
+  if (options.optimize) {
+    if (module_.optimizer == nullptr) {
+      return Status::InvalidArgument(
+          "no optimizer generated; call GenerateOptimizer() first");
+    }
+    opt::OptimizerOptions run_options = options_;
+    run_options.enable_trace = options.trace;
+    opt::Optimizer tracer(module_.algebra.get(), module_.cost.get(),
+                          module_.optimizer->rules(), run_options);
+    auto start = std::chrono::steady_clock::now();
+    VODAK_ASSIGN_OR_RETURN(opt::OptimizeResult opt_result,
+                           tracer.Optimize(out.original_plan));
+    out.optimize_ms = MsSince(start);
+    out.chosen_plan = opt_result.best_plan;
+    out.chosen_cost = opt_result.best_cost;
+    out.original_cost = opt_result.original_cost;
+    out.memo_groups = opt_result.group_count;
+    out.memo_exprs = opt_result.expr_count;
+    out.rule_applications = opt_result.rule_applications;
+    out.trace = std::move(opt_result.trace);
+  }
+
+  if (!options.execute) {
+    out.result = Value::Set({});
+    return out;
+  }
+  exec::ExecContext exec_ctx{catalog_, store_, methods_};
+  VODAK_ASSIGN_OR_RETURN(exec::PhysOpPtr root,
+                         exec::BuildPhysical(out.chosen_plan, exec_ctx));
+  out.physical_explain = exec::ExplainPhysical(*root);
+  auto start = std::chrono::steady_clock::now();
+  VODAK_ASSIGN_OR_RETURN(
+      out.result, exec::ExecuteColumn(root.get(), algebra::ResultRef(bound)));
+  out.execute_ms = MsSince(start);
+  return out;
+}
+
+Result<Value> Database::RunNaive(const std::string& vql) const {
+  VODAK_ASSIGN_OR_RETURN(vql::BoundQuery bound, Parse(vql));
+  vql::Interpreter interpreter(catalog_, store_, methods_);
+  return interpreter.Run(bound);
+}
+
+Result<std::string> Database::Explain(const std::string& vql,
+                                      const ExecOptions& options) {
+  VODAK_ASSIGN_OR_RETURN(QueryResult result, Run(vql, options));
+  std::string out;
+  out += "== VQL ==\n" + vql + "\n";
+  out += "== algebra (translated, cost " +
+         std::to_string(result.original_cost) + ") ==\n";
+  out += result.original_plan->ToTreeString();
+  out += "== algebra (optimized, cost " +
+         std::to_string(result.chosen_cost) + ") ==\n";
+  out += result.chosen_plan->ToTreeString();
+  out += "== physical plan ==\n" + result.physical_explain;
+  if (!result.trace.empty()) {
+    out += "== rule applications (" +
+           std::to_string(result.trace.size()) + ") ==\n";
+    for (const auto& entry : result.trace) {
+      out += "  [" + entry.rule + "]\n    " + entry.before + "\n    => " +
+             entry.after + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace engine
+}  // namespace vodak

@@ -1,0 +1,110 @@
+#ifndef VODAK_ENGINE_DATABASE_H_
+#define VODAK_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/physical.h"
+#include "semantics/generator.h"
+#include "vql/interpreter.h"
+
+namespace vodak {
+namespace engine {
+
+struct ExecOptions {
+  /// Run the generated optimizer; false executes the plain §4.1
+  /// translation (the ablation baseline).
+  bool optimize = true;
+  /// Record the rule-application storyboard (the §7 demonstrator).
+  bool trace = false;
+  /// Execute the chosen plan; false stops after planning (used by
+  /// optimizer-scaling benchmarks where execution would dominate).
+  bool execute = true;
+};
+
+/// Everything one query execution produced.
+struct QueryResult {
+  /// The result value set (ACCESS-expression values).
+  Value result;
+  /// Plans before/after optimization and their estimated costs.
+  algebra::LogicalRef original_plan;
+  algebra::LogicalRef chosen_plan;
+  double original_cost = 0.0;
+  double chosen_cost = 0.0;
+  /// Optimizer statistics (zeroed when optimize=false).
+  size_t memo_groups = 0;
+  size_t memo_exprs = 0;
+  size_t rule_applications = 0;
+  std::vector<opt::TraceEntry> trace;
+  /// Wall-clock milliseconds.
+  double optimize_ms = 0.0;
+  double execute_ms = 0.0;
+  /// Physical plan rendering.
+  std::string physical_explain;
+};
+
+/// The public face of the system: a VODAK-style database session over a
+/// schema (catalog), a store, a method registry and a knowledge base,
+/// with a per-schema generated optimizer (§7).
+///
+/// Typical use (see examples/quickstart.cc):
+///   workload::DocumentDb db;  db.Init();  db.Populate({});
+///   engine::Database session(&db.catalog(), &db.store(), &db.methods());
+///   session.knowledge().AddCondEquivalence("E3", ...);
+///   session.GenerateOptimizer();
+///   auto result = session.Run("ACCESS p FROM p IN Paragraph WHERE ...");
+class Database {
+ public:
+  Database(const Catalog* catalog, ObjectStore* store,
+           MethodRegistry* methods);
+
+  /// The schema-specific knowledge collection; add entries before
+  /// calling GenerateOptimizer().
+  semantics::KnowledgeBase& knowledge() { return knowledge_; }
+  const semantics::KnowledgeBase& knowledge() const { return knowledge_; }
+
+  /// Installs an argument-aware statistics provider (index document
+  /// frequencies etc.) used by the generated cost model.
+  void AddStatsProvider(opt::MethodStatsProvider provider);
+
+  /// (Re)generates the optimizer module from builtin + derived rules —
+  /// the §7 per-schema generation step. Must be called before Run() with
+  /// optimize=true, and again after knowledge changes.
+  Status GenerateOptimizer(opt::OptimizerOptions options = {});
+
+  bool HasOptimizer() const { return module_.optimizer != nullptr; }
+
+  /// Parses, binds, (optionally) optimizes and executes a VQL query.
+  Result<QueryResult> Run(const std::string& vql,
+                          const ExecOptions& options = {});
+
+  /// Ground-truth evaluation through the naive interpreter (S9); used by
+  /// the correctness property tests and as the paper's "straightforward
+  /// evaluation" baseline.
+  Result<Value> RunNaive(const std::string& vql) const;
+
+  /// Human-readable optimization report: original plan, chosen plan,
+  /// costs, and with `options.trace` the full rewrite storyboard.
+  Result<std::string> Explain(const std::string& vql,
+                              const ExecOptions& options = {});
+
+  const Catalog* catalog() const { return catalog_; }
+  ObjectStore* store() const { return store_; }
+  MethodRegistry* methods() const { return methods_; }
+
+ private:
+  Result<vql::BoundQuery> Parse(const std::string& vql) const;
+
+  const Catalog* catalog_;
+  ObjectStore* store_;
+  MethodRegistry* methods_;
+  semantics::KnowledgeBase knowledge_;
+  std::vector<opt::MethodStatsProvider> providers_;
+  semantics::GeneratedOptimizer module_;
+  opt::OptimizerOptions options_;
+};
+
+}  // namespace engine
+}  // namespace vodak
+
+#endif  // VODAK_ENGINE_DATABASE_H_

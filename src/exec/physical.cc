@@ -1,0 +1,885 @@
+#include "exec/physical.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace vodak {
+namespace exec {
+
+using algebra::LogicalNode;
+using algebra::LogicalOp;
+using algebra::LogicalRef;
+
+int PhysOperator::RefIndex(const std::string& name) const {
+  for (size_t i = 0; i < refs_.size(); ++i) {
+    if (refs_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+std::vector<std::string> RefsOf(const LogicalRef& node) {
+  std::vector<std::string> refs;
+  refs.reserve(node->schema().size());
+  for (const auto& [name, type] : node->schema()) refs.push_back(name);
+  return refs;  // map order = sorted
+}
+
+Env EnvFromRow(const std::vector<std::string>& refs, const Row& row) {
+  Env env;
+  for (size_t i = 0; i < refs.size(); ++i) env[refs[i]] = row[i];
+  return env;
+}
+
+uint64_t HashRow(const Row& row) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : row) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    return static_cast<size_t>(HashRow(row));
+  }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (Value::Compare(a[i], b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Sequential scan over a class extension (physical `get`).
+class ExtentScan : public PhysOperator {
+ public:
+  ExtentScan(const ExecContext& ctx, std::string ref,
+             std::string class_name, uint32_t class_id)
+      : PhysOperator({std::move(ref)}),
+        ctx_(ctx),
+        class_name_(std::move(class_name)),
+        class_id_(class_id) {}
+
+  Status Open() override {
+    VODAK_ASSIGN_OR_RETURN(extent_, ctx_.store->Extent(class_id_));
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= extent_.size()) return false;
+    row->assign(1, Value::OfOid(extent_[pos_++]));
+    ++rows_produced_;
+    return true;
+  }
+  void Close() override { extent_.clear(); }
+  std::string name() const override { return "ExtentScan"; }
+  std::string params() const override {
+    return refs_[0] + " IN " + class_name_;
+  }
+  const std::vector<const PhysOperator*> children() const override {
+    return {};
+  }
+
+ private:
+  ExecContext ctx_;
+  std::string class_name_;
+  uint32_t class_id_;
+  std::vector<Oid> extent_;
+  size_t pos_ = 0;
+};
+
+/// Materializes a closed set-valued expression — the physical form of
+/// §3.2's "methods as algebraic operators" (e.g. an external method scan
+/// like Paragraph→retrieve_by_string(s)).
+class ExprSourceScan : public PhysOperator {
+ public:
+  ExprSourceScan(const ExecContext& ctx, std::string ref, ExprRef expr)
+      : PhysOperator({std::move(ref)}),
+        evaluator_(ctx.catalog, ctx.store, ctx.methods),
+        expr_(std::move(expr)) {}
+
+  Status Open() override {
+    VODAK_ASSIGN_OR_RETURN(Value set, evaluator_.Eval(expr_, {}));
+    if (set.is_null()) {
+      elements_.clear();
+    } else if (set.is_set()) {
+      elements_ = set.AsSet();
+    } else {
+      return Status::ExecError("expr_source evaluated to non-set " +
+                               set.ToString());
+    }
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= elements_.size()) return false;
+    row->assign(1, elements_[pos_++]);
+    ++rows_produced_;
+    return true;
+  }
+  void Close() override { elements_.clear(); }
+  std::string name() const override { return "MethodScan"; }
+  std::string params() const override {
+    return refs_[0] + " IN " + expr_->ToString();
+  }
+  const std::vector<const PhysOperator*> children() const override {
+    return {};
+  }
+
+ private:
+  ExprEvaluator evaluator_;
+  ExprRef expr_;
+  ValueSet elements_;
+  size_t pos_ = 0;
+};
+
+/// Physical select<condition>.
+class Filter : public PhysOperator {
+ public:
+  Filter(const ExecContext& ctx, PhysOpPtr child, ExprRef cond)
+      : PhysOperator(child->refs()),
+        evaluator_(ctx.catalog, ctx.store, ctx.methods),
+        child_(std::move(child)),
+        cond_(std::move(cond)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* row) override {
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+      if (!more) return false;
+      VODAK_ASSIGN_OR_RETURN(
+          bool keep,
+          evaluator_.EvalPredicate(cond_, EnvFromRow(refs_, *row)));
+      if (keep) {
+        ++rows_produced_;
+        return true;
+      }
+    }
+  }
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "Filter"; }
+  std::string params() const override { return cond_->ToString(); }
+  const std::vector<const PhysOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  ExprEvaluator evaluator_;
+  PhysOpPtr child_;
+  ExprRef cond_;
+};
+
+/// Nested-loop join with arbitrary condition (inner side materialized).
+class NestedLoopJoin : public PhysOperator {
+ public:
+  NestedLoopJoin(const ExecContext& ctx, PhysOpPtr left, PhysOpPtr right,
+                 ExprRef cond, std::vector<std::string> refs)
+      : PhysOperator(std::move(refs)),
+        evaluator_(ctx.catalog, ctx.store, ctx.methods),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        cond_(std::move(cond)) {
+    BuildOutputMap();
+  }
+
+  Status Open() override {
+    VODAK_RETURN_IF_ERROR(left_->Open());
+    VODAK_RETURN_IF_ERROR(right_->Open());
+    Row row;
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+      if (!more) break;
+      right_rows_.push_back(row);
+    }
+    right_->Close();
+    right_pos_ = 0;
+    left_valid_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    for (;;) {
+      if (!left_valid_) {
+        VODAK_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
+        if (!more) return false;
+        left_valid_ = true;
+        right_pos_ = 0;
+      }
+      while (right_pos_ < right_rows_.size()) {
+        const Row& right_row = right_rows_[right_pos_++];
+        Merge(left_row_, right_row, row);
+        VODAK_ASSIGN_OR_RETURN(
+            bool keep,
+            evaluator_.EvalPredicate(cond_, EnvFromRow(refs_, *row)));
+        if (keep) {
+          ++rows_produced_;
+          return true;
+        }
+      }
+      left_valid_ = false;
+    }
+  }
+  void Close() override {
+    left_->Close();
+    right_rows_.clear();
+  }
+  std::string name() const override { return "NestedLoopJoin"; }
+  std::string params() const override { return cond_->ToString(); }
+  const std::vector<const PhysOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  void BuildOutputMap() {
+    for (const std::string& ref : refs_) {
+      int li = left_->RefIndex(ref);
+      int ri = right_->RefIndex(ref);
+      from_left_.push_back(li);
+      from_right_.push_back(li >= 0 ? -1 : ri);
+    }
+  }
+  void Merge(const Row& left, const Row& right, Row* out) const {
+    out->resize(refs_.size());
+    for (size_t i = 0; i < refs_.size(); ++i) {
+      (*out)[i] = from_left_[i] >= 0 ? left[from_left_[i]]
+                                     : right[from_right_[i]];
+    }
+  }
+
+  ExprEvaluator evaluator_;
+  PhysOpPtr left_;
+  PhysOpPtr right_;
+  ExprRef cond_;
+  std::vector<Row> right_rows_;
+  size_t right_pos_ = 0;
+  Row left_row_;
+  bool left_valid_ = false;
+  std::vector<int> from_left_;
+  std::vector<int> from_right_;
+};
+
+/// Hash join on key references; implements natural_join (keys = shared
+/// references) and bare-variable equality joins.
+class HashJoin : public PhysOperator {
+ public:
+  HashJoin(PhysOpPtr left, PhysOpPtr right,
+           std::vector<std::string> left_keys,
+           std::vector<std::string> right_keys,
+           std::vector<std::string> refs)
+      : PhysOperator(std::move(refs)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)) {
+    for (const std::string& ref : refs_) {
+      int li = left_->RefIndex(ref);
+      int ri = right_->RefIndex(ref);
+      from_left_.push_back(li);
+      from_right_.push_back(li >= 0 ? -1 : ri);
+    }
+    for (const std::string& k : left_keys_) {
+      left_key_idx_.push_back(left_->RefIndex(k));
+    }
+    for (const std::string& k : right_keys_) {
+      right_key_idx_.push_back(right_->RefIndex(k));
+    }
+  }
+
+  Status Open() override {
+    VODAK_RETURN_IF_ERROR(right_->Open());
+    Row row;
+    table_.clear();
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+      if (!more) break;
+      Row key;
+      key.reserve(right_key_idx_.size());
+      for (int i : right_key_idx_) key.push_back(row[i]);
+      table_[key].push_back(row);
+    }
+    right_->Close();
+    VODAK_RETURN_IF_ERROR(left_->Open());
+    left_valid_ = false;
+    bucket_ = nullptr;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    for (;;) {
+      if (!left_valid_) {
+        VODAK_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
+        if (!more) return false;
+        left_valid_ = true;
+        Row key;
+        key.reserve(left_key_idx_.size());
+        for (int i : left_key_idx_) key.push_back(left_row_[i]);
+        auto it = table_.find(key);
+        bucket_ = it == table_.end() ? nullptr : &it->second;
+        bucket_pos_ = 0;
+      }
+      if (bucket_ != nullptr && bucket_pos_ < bucket_->size()) {
+        const Row& right_row = (*bucket_)[bucket_pos_++];
+        row->resize(refs_.size());
+        for (size_t i = 0; i < refs_.size(); ++i) {
+          (*row)[i] = from_left_[i] >= 0 ? left_row_[from_left_[i]]
+                                         : right_row[from_right_[i]];
+        }
+        ++rows_produced_;
+        return true;
+      }
+      left_valid_ = false;
+    }
+  }
+  void Close() override {
+    left_->Close();
+    table_.clear();
+  }
+  std::string name() const override { return "HashJoin"; }
+  std::string params() const override {
+    std::string out;
+    for (size_t i = 0; i < left_keys_.size(); ++i) {
+      if (i) out += ", ";
+      out += left_keys_[i] + " == " + right_keys_[i];
+    }
+    return out;
+  }
+  const std::vector<const PhysOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PhysOpPtr left_;
+  PhysOpPtr right_;
+  std::vector<std::string> left_keys_;
+  std::vector<std::string> right_keys_;
+  std::vector<int> left_key_idx_;
+  std::vector<int> right_key_idx_;
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> table_;
+  Row left_row_;
+  bool left_valid_ = false;
+  const std::vector<Row>* bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+  std::vector<int> from_left_;
+  std::vector<int> from_right_;
+};
+
+/// Physical map<ref, expr>: appends one computed column.
+class MapOp : public PhysOperator {
+ public:
+  MapOp(const ExecContext& ctx, PhysOpPtr child, std::string ref,
+        ExprRef expr, std::vector<std::string> refs)
+      : PhysOperator(std::move(refs)),
+        evaluator_(ctx.catalog, ctx.store, ctx.methods),
+        child_(std::move(child)),
+        new_ref_(std::move(ref)),
+        expr_(std::move(expr)) {
+    out_index_ = RefIndex(new_ref_);
+    for (const std::string& r : refs_) {
+      child_index_.push_back(child_->RefIndex(r));
+    }
+  }
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* row) override {
+    Row child_row;
+    VODAK_ASSIGN_OR_RETURN(bool more, child_->Next(&child_row));
+    if (!more) return false;
+    VODAK_ASSIGN_OR_RETURN(
+        Value v, evaluator_.Eval(
+                     expr_, EnvFromRow(child_->refs(), child_row)));
+    row->resize(refs_.size());
+    for (size_t i = 0; i < refs_.size(); ++i) {
+      (*row)[i] = child_index_[i] >= 0 ? child_row[child_index_[i]]
+                                       : Value::Null();
+    }
+    (*row)[out_index_] = std::move(v);
+    ++rows_produced_;
+    return true;
+  }
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "Map"; }
+  std::string params() const override {
+    return new_ref_ + " := " + expr_->ToString();
+  }
+  const std::vector<const PhysOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  ExprEvaluator evaluator_;
+  PhysOpPtr child_;
+  std::string new_ref_;
+  ExprRef expr_;
+  int out_index_ = -1;
+  std::vector<int> child_index_;
+};
+
+/// Physical flat<ref, expr>: one output row per element of the
+/// set-valued expression.
+class FlatOp : public PhysOperator {
+ public:
+  FlatOp(const ExecContext& ctx, PhysOpPtr child, std::string ref,
+         ExprRef expr, std::vector<std::string> refs)
+      : PhysOperator(std::move(refs)),
+        evaluator_(ctx.catalog, ctx.store, ctx.methods),
+        child_(std::move(child)),
+        new_ref_(std::move(ref)),
+        expr_(std::move(expr)) {
+    out_index_ = RefIndex(new_ref_);
+    for (const std::string& r : refs_) {
+      child_index_.push_back(child_->RefIndex(r));
+    }
+  }
+
+  Status Open() override {
+    elem_pos_ = 0;
+    elements_.clear();
+    return child_->Open();
+  }
+  Result<bool> Next(Row* row) override {
+    for (;;) {
+      if (elem_pos_ < elements_.size()) {
+        row->resize(refs_.size());
+        for (size_t i = 0; i < refs_.size(); ++i) {
+          (*row)[i] = child_index_[i] >= 0 ? child_row_[child_index_[i]]
+                                           : Value::Null();
+        }
+        (*row)[out_index_] = elements_[elem_pos_++];
+        ++rows_produced_;
+        return true;
+      }
+      VODAK_ASSIGN_OR_RETURN(bool more, child_->Next(&child_row_));
+      if (!more) return false;
+      VODAK_ASSIGN_OR_RETURN(
+          Value set, evaluator_.Eval(
+                         expr_, EnvFromRow(child_->refs(), child_row_)));
+      if (set.is_null()) {
+        elements_.clear();
+      } else if (set.is_set()) {
+        elements_ = set.AsSet();
+      } else {
+        return Status::ExecError("flat expression evaluated to non-set " +
+                                 set.ToString());
+      }
+      elem_pos_ = 0;
+    }
+  }
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "Flatten"; }
+  std::string params() const override {
+    return new_ref_ + " IN " + expr_->ToString();
+  }
+  const std::vector<const PhysOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  ExprEvaluator evaluator_;
+  PhysOpPtr child_;
+  std::string new_ref_;
+  ExprRef expr_;
+  int out_index_ = -1;
+  std::vector<int> child_index_;
+  Row child_row_;
+  ValueSet elements_;
+  size_t elem_pos_ = 0;
+};
+
+/// Physical project with set-semantics duplicate elimination.
+class ProjectDedup : public PhysOperator {
+ public:
+  ProjectDedup(PhysOpPtr child, std::vector<std::string> refs)
+      : PhysOperator(std::move(refs)), child_(std::move(child)) {
+    for (const std::string& r : refs_) {
+      child_index_.push_back(child_->RefIndex(r));
+    }
+  }
+
+  Status Open() override {
+    seen_.clear();
+    return child_->Open();
+  }
+  Result<bool> Next(Row* row) override {
+    Row child_row;
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, child_->Next(&child_row));
+      if (!more) return false;
+      row->resize(refs_.size());
+      for (size_t i = 0; i < refs_.size(); ++i) {
+        (*row)[i] = child_row[child_index_[i]];
+      }
+      if (seen_.insert(*row).second) {
+        ++rows_produced_;
+        return true;
+      }
+    }
+  }
+  void Close() override {
+    child_->Close();
+    seen_.clear();
+  }
+  std::string name() const override { return "Project"; }
+  std::string params() const override { return Join(refs_, ", "); }
+  const std::vector<const PhysOperator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  PhysOpPtr child_;
+  std::vector<int> child_index_;
+  std::unordered_set<Row, RowHash, RowEq> seen_;
+};
+
+/// union / diff with set semantics (right side materialized).
+class SetOp : public PhysOperator {
+ public:
+  SetOp(PhysOpPtr left, PhysOpPtr right, bool is_union,
+        std::vector<std::string> refs)
+      : PhysOperator(std::move(refs)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        is_union_(is_union) {
+    for (const std::string& r : refs_) {
+      left_index_.push_back(left_->RefIndex(r));
+      right_index_.push_back(right_->RefIndex(r));
+    }
+  }
+
+  Status Open() override {
+    right_set_.clear();
+    emitted_.clear();
+    VODAK_RETURN_IF_ERROR(right_->Open());
+    Row row;
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+      if (!more) break;
+      Row aligned(refs_.size());
+      for (size_t i = 0; i < refs_.size(); ++i) {
+        aligned[i] = row[right_index_[i]];
+      }
+      right_set_.insert(std::move(aligned));
+    }
+    right_->Close();
+    right_it_ = right_set_.begin();
+    left_done_ = false;
+    return left_->Open();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (!left_done_) {
+      Row child_row;
+      VODAK_ASSIGN_OR_RETURN(bool more, left_->Next(&child_row));
+      if (!more) {
+        left_done_ = true;
+        break;
+      }
+      row->resize(refs_.size());
+      for (size_t i = 0; i < refs_.size(); ++i) {
+        (*row)[i] = child_row[left_index_[i]];
+      }
+      bool in_right = right_set_.count(*row) > 0;
+      if (is_union_ || !in_right) {
+        if (emitted_.insert(*row).second) {
+          ++rows_produced_;
+          return true;
+        }
+      }
+    }
+    if (is_union_) {
+      while (right_it_ != right_set_.end()) {
+        *row = *right_it_++;
+        if (emitted_.insert(*row).second) {
+          ++rows_produced_;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+  void Close() override {
+    left_->Close();
+    right_set_.clear();
+    emitted_.clear();
+  }
+  std::string name() const override {
+    return is_union_ ? "Union" : "Difference";
+  }
+  const std::vector<const PhysOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PhysOpPtr left_;
+  PhysOpPtr right_;
+  bool is_union_;
+  std::vector<int> left_index_;
+  std::vector<int> right_index_;
+  std::unordered_set<Row, RowHash, RowEq> right_set_;
+  std::unordered_set<Row, RowHash, RowEq> emitted_;
+  std::unordered_set<Row, RowHash, RowEq>::iterator right_it_;
+  bool left_done_ = false;
+};
+
+}  // namespace
+
+Result<PhysOpPtr> BuildPhysical(const LogicalRef& plan,
+                                const ExecContext& ctx) {
+  switch (plan->op()) {
+    case LogicalOp::kGet: {
+      const ClassDef* cls = ctx.catalog->FindClass(plan->class_name());
+      if (cls == nullptr) {
+        return Status::PlanError("unknown class '" + plan->class_name() +
+                                 "'");
+      }
+      return PhysOpPtr(new ExtentScan(ctx, plan->ref(), plan->class_name(),
+                                      cls->class_id()));
+    }
+    case LogicalOp::kExprSource:
+      return PhysOpPtr(new ExprSourceScan(ctx, plan->ref(), plan->expr()));
+    case LogicalOp::kSelect: {
+      VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,
+                             BuildPhysical(plan->input(0), ctx));
+      return PhysOpPtr(new Filter(ctx, std::move(child), plan->expr()));
+    }
+    case LogicalOp::kJoin: {
+      VODAK_ASSIGN_OR_RETURN(PhysOpPtr left,
+                             BuildPhysical(plan->input(0), ctx));
+      VODAK_ASSIGN_OR_RETURN(PhysOpPtr right,
+                             BuildPhysical(plan->input(1), ctx));
+      const ExprRef& cond = plan->expr();
+      // Bare-variable equality spanning both sides → hash join (the
+      // deterministic algorithm choice shared with the cost model).
+      if (cond->kind() == ExprKind::kBinary &&
+          cond->bin_op() == BinOp::kEq &&
+          cond->lhs()->kind() == ExprKind::kVar &&
+          cond->rhs()->kind() == ExprKind::kVar) {
+        std::string a = cond->lhs()->var_name();
+        std::string b = cond->rhs()->var_name();
+        if (plan->input(0)->HasRef(b)) std::swap(a, b);
+        if (plan->input(0)->HasRef(a) && plan->input(1)->HasRef(b)) {
+          return PhysOpPtr(new HashJoin(std::move(left), std::move(right),
+                                        {a}, {b}, RefsOf(plan)));
+        }
+      }
+      return PhysOpPtr(new NestedLoopJoin(ctx, std::move(left),
+                                          std::move(right), cond,
+                                          RefsOf(plan)));
+    }
+    case LogicalOp::kNaturalJoin: {
+      VODAK_ASSIGN_OR_RETURN(PhysOpPtr left,
+                             BuildPhysical(plan->input(0), ctx));
+      VODAK_ASSIGN_OR_RETURN(PhysOpPtr right,
+                             BuildPhysical(plan->input(1), ctx));
+      std::vector<std::string> shared;
+      for (const auto& [ref, type] : plan->input(0)->schema()) {
+        if (plan->input(1)->HasRef(ref)) shared.push_back(ref);
+      }
+      return PhysOpPtr(new HashJoin(std::move(left), std::move(right),
+                                    shared, shared, RefsOf(plan)));
+    }
+    case LogicalOp::kUnion:
+    case LogicalOp::kDiff: {
+      VODAK_ASSIGN_OR_RETURN(PhysOpPtr left,
+                             BuildPhysical(plan->input(0), ctx));
+      VODAK_ASSIGN_OR_RETURN(PhysOpPtr right,
+                             BuildPhysical(plan->input(1), ctx));
+      return PhysOpPtr(new SetOp(std::move(left), std::move(right),
+                                 plan->op() == LogicalOp::kUnion,
+                                 RefsOf(plan)));
+    }
+    case LogicalOp::kMap: {
+      VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,
+                             BuildPhysical(plan->input(0), ctx));
+      return PhysOpPtr(new MapOp(ctx, std::move(child), plan->ref(),
+                                 plan->expr(), RefsOf(plan)));
+    }
+    case LogicalOp::kFlat: {
+      VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,
+                             BuildPhysical(plan->input(0), ctx));
+      return PhysOpPtr(new FlatOp(ctx, std::move(child), plan->ref(),
+                                  plan->expr(), RefsOf(plan)));
+    }
+    case LogicalOp::kProject: {
+      VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,
+                             BuildPhysical(plan->input(0), ctx));
+      return PhysOpPtr(
+          new ProjectDedup(std::move(child), plan->projection()));
+    }
+    case LogicalOp::kGroupRef:
+      return Status::PlanError(
+          "group placeholder in executable plan (optimizer bug)");
+  }
+  return Status::Internal("unreachable logical op in plan builder");
+}
+
+Result<Value> ExecuteToSet(PhysOperator* root) {
+  VODAK_RETURN_IF_ERROR(root->Open());
+  std::vector<Value> tuples;
+  Row row;
+  for (;;) {
+    VODAK_ASSIGN_OR_RETURN(bool more, root->Next(&row));
+    if (!more) break;
+    ValueTuple fields;
+    fields.reserve(root->refs().size());
+    for (size_t i = 0; i < root->refs().size(); ++i) {
+      fields.emplace_back(root->refs()[i], row[i]);
+    }
+    tuples.push_back(Value::Tuple(std::move(fields)));
+  }
+  root->Close();
+  return Value::Set(std::move(tuples));
+}
+
+Result<Value> ExecuteColumn(PhysOperator* root, const std::string& ref) {
+  int index = root->RefIndex(ref);
+  if (index < 0) {
+    return Status::PlanError("result reference '" + ref +
+                             "' not produced by plan");
+  }
+  VODAK_RETURN_IF_ERROR(root->Open());
+  std::vector<Value> values;
+  Row row;
+  for (;;) {
+    VODAK_ASSIGN_OR_RETURN(bool more, root->Next(&row));
+    if (!more) break;
+    values.push_back(row[index]);
+  }
+  root->Close();
+  return Value::Set(std::move(values));
+}
+
+namespace {
+
+void DecomposeRec(const ExprRef& expr, int* counter, std::string* out,
+                  std::string* result_reg) {
+  switch (expr->kind()) {
+    case ExprKind::kConst:
+      *result_reg = expr->value().ToString();
+      return;
+    case ExprKind::kVar:
+      *result_reg = expr->var_name();
+      return;
+    case ExprKind::kProperty: {
+      std::string base;
+      DecomposeRec(expr->base(), counter, out, &base);
+      *result_reg = "t" + std::to_string(++*counter);
+      *out += "map_property<" + *result_reg + ", " + expr->name() + ", " +
+              base + ">; ";
+      return;
+    }
+    case ExprKind::kMethodCall: {
+      std::string base;
+      DecomposeRec(expr->base(), counter, out, &base);
+      std::vector<std::string> args;
+      for (const auto& arg : expr->args()) {
+        std::string reg;
+        DecomposeRec(arg, counter, out, &reg);
+        args.push_back(reg);
+      }
+      *result_reg = "t" + std::to_string(++*counter);
+      *out += "map_method<" + *result_reg + ", " + expr->method() + ", " +
+              base;
+      for (const auto& a : args) *out += ", " + a;
+      *out += ">; ";
+      return;
+    }
+    case ExprKind::kClassMethodCall: {
+      std::vector<std::string> args;
+      for (const auto& arg : expr->args()) {
+        std::string reg;
+        DecomposeRec(arg, counter, out, &reg);
+        args.push_back(reg);
+      }
+      *result_reg = "t" + std::to_string(++*counter);
+      *out += "method_get<" + *result_reg + ", " + expr->name() + ", " +
+              expr->method();
+      for (const auto& a : args) *out += ", " + a;
+      *out += ">; ";
+      return;
+    }
+    case ExprKind::kBinary: {
+      std::string lhs;
+      std::string rhs;
+      DecomposeRec(expr->lhs(), counter, out, &lhs);
+      DecomposeRec(expr->rhs(), counter, out, &rhs);
+      *result_reg = "t" + std::to_string(++*counter);
+      *out += "map_operator<" + *result_reg + ", " +
+              BinOpName(expr->bin_op()) + ", " + lhs + ", " + rhs + ">; ";
+      return;
+    }
+    case ExprKind::kUnary: {
+      std::string operand;
+      DecomposeRec(expr->operand(), counter, out, &operand);
+      *result_reg = "t" + std::to_string(++*counter);
+      *out += "map_operator<" + *result_reg + ", " +
+              (expr->un_op() == UnOp::kNot ? "NOT" : "NEG") + ", " +
+              operand + ">; ";
+      return;
+    }
+    case ExprKind::kTupleCtor: {
+      std::vector<std::string> args;
+      for (const auto& [name, fe] : expr->fields()) {
+        std::string reg;
+        DecomposeRec(fe, counter, out, &reg);
+        args.push_back(name + ": " + reg);
+      }
+      *result_reg = "t" + std::to_string(++*counter);
+      *out += "map_operator<" + *result_reg + ", TUPLE";
+      for (const auto& a : args) *out += ", " + a;
+      *out += ">; ";
+      return;
+    }
+    case ExprKind::kSetCtor: {
+      std::vector<std::string> args;
+      for (const auto& el : expr->args()) {
+        std::string reg;
+        DecomposeRec(el, counter, out, &reg);
+        args.push_back(reg);
+      }
+      *result_reg = "t" + std::to_string(++*counter);
+      *out += "map_operator<" + *result_reg + ", SET";
+      for (const auto& a : args) *out += ", " + a;
+      *out += ">; ";
+      return;
+    }
+  }
+}
+
+void ExplainRec(const PhysOperator& op, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  *out += op.name();
+  std::string params = op.params();
+  if (!params.empty()) *out += "(" + params + ")";
+  *out += "\n";
+  for (const PhysOperator* child : op.children()) {
+    ExplainRec(*child, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string DecomposeToRestrictedOps(const ExprRef& expr) {
+  std::string out;
+  std::string result;
+  int counter = 0;
+  DecomposeRec(expr, &counter, &out, &result);
+  if (out.empty()) return "atom " + result;
+  // Trim trailing "; ".
+  out.resize(out.size() - 2);
+  return out;
+}
+
+std::string ExplainPhysical(const PhysOperator& root) {
+  std::string out;
+  ExplainRec(root, 0, &out);
+  return out;
+}
+
+}  // namespace exec
+}  // namespace vodak

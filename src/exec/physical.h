@@ -1,0 +1,83 @@
+#ifndef VODAK_EXEC_PHYSICAL_H_
+#define VODAK_EXEC_PHYSICAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/logical.h"
+#include "expr/expr_eval.h"
+
+namespace vodak {
+namespace exec {
+
+/// A physical tuple: values aligned with the operator's reference list
+/// (sorted reference names, matching the logical schema's map order).
+using Row = std::vector<Value>;
+
+/// The Volcano iterator interface (open / next / close) the paper's
+/// physical algebra assumes. Every operator carries its output reference
+/// list and basic runtime counters for the benchmark harness.
+class PhysOperator {
+ public:
+  explicit PhysOperator(std::vector<std::string> refs)
+      : refs_(std::move(refs)) {}
+  virtual ~PhysOperator() = default;
+
+  virtual Status Open() = 0;
+  /// Produces the next row; returns false at end of stream.
+  virtual Result<bool> Next(Row* row) = 0;
+  virtual void Close() = 0;
+
+  const std::vector<std::string>& refs() const { return refs_; }
+  int RefIndex(const std::string& name) const;
+
+  virtual std::string name() const = 0;
+  /// One-line parameter description for EXPLAIN output.
+  virtual std::string params() const { return ""; }
+  virtual const std::vector<const PhysOperator*> children() const = 0;
+
+  uint64_t rows_produced() const { return rows_produced_; }
+
+ protected:
+  std::vector<std::string> refs_;
+  uint64_t rows_produced_ = 0;
+};
+
+using PhysOpPtr = std::unique_ptr<PhysOperator>;
+
+/// Everything operators need at runtime.
+struct ExecContext {
+  const Catalog* catalog = nullptr;
+  ObjectStore* store = nullptr;
+  MethodRegistry* methods = nullptr;
+};
+
+/// Compiles a logical plan into a physical operator tree. Algorithm
+/// choice is deterministic and mirrors the cost model: natural joins and
+/// bare-variable equality joins become hash joins, everything else nested
+/// loops; map/flat/select evaluate their (restricted-algebra-decomposed)
+/// expression parameters per row.
+Result<PhysOpPtr> BuildPhysical(const algebra::LogicalRef& plan,
+                                const ExecContext& ctx);
+
+/// Drains the operator tree into a set of tuples (the algebra's result).
+Result<Value> ExecuteToSet(PhysOperator* root);
+
+/// Drains the tree and projects one reference, returning a value set.
+Result<Value> ExecuteColumn(PhysOperator* root, const std::string& ref);
+
+/// Indented physical EXPLAIN with the restricted-algebra decomposition
+/// of operator parameters (§6.1): complex expressions are shown as
+/// map_property / map_method / map_operator step chains.
+std::string ExplainPhysical(const PhysOperator& root);
+
+/// Renders an expression as the §6.1 restricted-algebra operator chain
+/// it decomposes into, e.g. `p.section.document` becomes
+/// `map_property<t1, section, p>; map_property<t2, document, t1>`.
+std::string DecomposeToRestrictedOps(const ExprRef& expr);
+
+}  // namespace exec
+}  // namespace vodak
+
+#endif  // VODAK_EXEC_PHYSICAL_H_

@@ -1,0 +1,460 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace vodak {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+      return "==";
+    case BinOp::kNe:
+      return "!=";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAnd:
+      return "AND";
+    case BinOp::kOr:
+      return "OR";
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kIsIn:
+      return "IS-IN";
+    case BinOp::kIsSubset:
+      return "IS-SUBSET";
+    case BinOp::kUnion:
+      return "UNION";
+    case BinOp::kIntersect:
+      return "INTERSECTION";
+    case BinOp::kDiff:
+      return "DIFFERENCE";
+  }
+  return "?";
+}
+
+bool IsComparisonOp(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+    case BinOp::kIsIn:
+    case BinOp::kIsSubset:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSetOp(BinOp op) {
+  return op == BinOp::kUnion || op == BinOp::kIntersect ||
+         op == BinOp::kDiff;
+}
+
+ExprRef Expr::Const(Value v) {
+  auto* e = new Expr(ExprKind::kConst);
+  e->value_ = std::move(v);
+  return ExprRef(e);
+}
+
+ExprRef Expr::Var(std::string name) {
+  auto* e = new Expr(ExprKind::kVar);
+  e->name_ = std::move(name);
+  return ExprRef(e);
+}
+
+ExprRef Expr::Property(ExprRef base, std::string prop) {
+  auto* e = new Expr(ExprKind::kProperty);
+  e->base_ = std::move(base);
+  e->name_ = std::move(prop);
+  return ExprRef(e);
+}
+
+ExprRef Expr::Path(std::string var, std::vector<std::string> props) {
+  ExprRef e = Var(std::move(var));
+  for (std::string& p : props) e = Property(e, std::move(p));
+  return e;
+}
+
+ExprRef Expr::MethodCall(ExprRef base, std::string method,
+                         std::vector<ExprRef> args) {
+  auto* e = new Expr(ExprKind::kMethodCall);
+  e->base_ = std::move(base);
+  e->name_ = std::move(method);
+  e->args_ = std::move(args);
+  return ExprRef(e);
+}
+
+ExprRef Expr::ClassMethodCall(std::string class_name, std::string method,
+                              std::vector<ExprRef> args) {
+  auto* e = new Expr(ExprKind::kClassMethodCall);
+  e->name_ = std::move(class_name);
+  e->args_ = std::move(args);
+  // Reuse fields_ slot for the method name? Keep it simple: store the
+  // method name in a dedicated arg-0-like member: we use rhs_ as holder of
+  // a Var carrying the method name to avoid an extra field.
+  e->rhs_ = Var(std::move(method));
+  return ExprRef(e);
+}
+
+ExprRef Expr::Binary(BinOp op, ExprRef lhs, ExprRef rhs) {
+  auto* e = new Expr(ExprKind::kBinary);
+  e->bin_op_ = op;
+  e->base_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return ExprRef(e);
+}
+
+ExprRef Expr::Unary(UnOp op, ExprRef operand) {
+  auto* e = new Expr(ExprKind::kUnary);
+  e->un_op_ = op;
+  e->base_ = std::move(operand);
+  return ExprRef(e);
+}
+
+ExprRef Expr::TupleCtor(
+    std::vector<std::pair<std::string, ExprRef>> fields) {
+  auto* e = new Expr(ExprKind::kTupleCtor);
+  e->fields_ = std::move(fields);
+  return ExprRef(e);
+}
+
+ExprRef Expr::SetCtor(std::vector<ExprRef> elements) {
+  auto* e = new Expr(ExprKind::kSetCtor);
+  e->args_ = std::move(elements);
+  return ExprRef(e);
+}
+
+const Value& Expr::value() const {
+  VODAK_DCHECK(kind_ == ExprKind::kConst);
+  return value_;
+}
+
+const std::string& Expr::var_name() const {
+  VODAK_DCHECK(kind_ == ExprKind::kVar);
+  return name_;
+}
+
+const ExprRef& Expr::base() const { return base_; }
+
+const std::string& Expr::name() const { return name_; }
+
+const std::string& Expr::method() const {
+  if (kind_ == ExprKind::kMethodCall) return name_;
+  VODAK_DCHECK(kind_ == ExprKind::kClassMethodCall);
+  return rhs_->name_;
+}
+
+const std::vector<ExprRef>& Expr::args() const { return args_; }
+
+BinOp Expr::bin_op() const {
+  VODAK_DCHECK(kind_ == ExprKind::kBinary);
+  return bin_op_;
+}
+
+UnOp Expr::un_op() const {
+  VODAK_DCHECK(kind_ == ExprKind::kUnary);
+  return un_op_;
+}
+
+const ExprRef& Expr::lhs() const {
+  VODAK_DCHECK(kind_ == ExprKind::kBinary);
+  return base_;
+}
+
+const ExprRef& Expr::rhs() const {
+  VODAK_DCHECK(kind_ == ExprKind::kBinary);
+  return rhs_;
+}
+
+const ExprRef& Expr::operand() const {
+  VODAK_DCHECK(kind_ == ExprKind::kUnary);
+  return base_;
+}
+
+const std::vector<std::pair<std::string, ExprRef>>& Expr::fields() const {
+  VODAK_DCHECK(kind_ == ExprKind::kTupleCtor);
+  return fields_;
+}
+
+bool Expr::Equals(const ExprRef& a, const ExprRef& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind_ != b->kind_) return false;
+  switch (a->kind_) {
+    case ExprKind::kConst:
+      return a->value_ == b->value_;
+    case ExprKind::kVar:
+      return a->name_ == b->name_;
+    case ExprKind::kProperty:
+      return a->name_ == b->name_ && Equals(a->base_, b->base_);
+    case ExprKind::kMethodCall: {
+      if (a->name_ != b->name_ || !Equals(a->base_, b->base_)) return false;
+      if (a->args_.size() != b->args_.size()) return false;
+      for (size_t i = 0; i < a->args_.size(); ++i) {
+        if (!Equals(a->args_[i], b->args_[i])) return false;
+      }
+      return true;
+    }
+    case ExprKind::kClassMethodCall: {
+      if (a->name_ != b->name_ || a->method() != b->method()) return false;
+      if (a->args_.size() != b->args_.size()) return false;
+      for (size_t i = 0; i < a->args_.size(); ++i) {
+        if (!Equals(a->args_[i], b->args_[i])) return false;
+      }
+      return true;
+    }
+    case ExprKind::kBinary:
+      return a->bin_op_ == b->bin_op_ && Equals(a->base_, b->base_) &&
+             Equals(a->rhs_, b->rhs_);
+    case ExprKind::kUnary:
+      return a->un_op_ == b->un_op_ && Equals(a->base_, b->base_);
+    case ExprKind::kTupleCtor: {
+      if (a->fields_.size() != b->fields_.size()) return false;
+      for (size_t i = 0; i < a->fields_.size(); ++i) {
+        if (a->fields_[i].first != b->fields_[i].first) return false;
+        if (!Equals(a->fields_[i].second, b->fields_[i].second))
+          return false;
+      }
+      return true;
+    }
+    case ExprKind::kSetCtor: {
+      if (a->args_.size() != b->args_.size()) return false;
+      for (size_t i = 0; i < a->args_.size(); ++i) {
+        if (!Equals(a->args_[i], b->args_[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t Expr::Hash() const {
+  uint64_t h = HashCombine(0x51ed270b, static_cast<uint64_t>(kind_));
+  switch (kind_) {
+    case ExprKind::kConst:
+      return HashCombine(h, value_.Hash());
+    case ExprKind::kVar:
+      return HashCombine(h, HashBytes(name_.data(), name_.size()));
+    case ExprKind::kProperty:
+      h = HashCombine(h, HashBytes(name_.data(), name_.size()));
+      return HashCombine(h, base_->Hash());
+    case ExprKind::kMethodCall:
+      h = HashCombine(h, HashBytes(name_.data(), name_.size()));
+      h = HashCombine(h, base_->Hash());
+      for (const auto& arg : args_) h = HashCombine(h, arg->Hash());
+      return h;
+    case ExprKind::kClassMethodCall:
+      h = HashCombine(h, HashBytes(name_.data(), name_.size()));
+      h = HashCombine(h, HashBytes(method().data(), method().size()));
+      for (const auto& arg : args_) h = HashCombine(h, arg->Hash());
+      return h;
+    case ExprKind::kBinary:
+      h = HashCombine(h, static_cast<uint64_t>(bin_op_));
+      h = HashCombine(h, base_->Hash());
+      return HashCombine(h, rhs_->Hash());
+    case ExprKind::kUnary:
+      h = HashCombine(h, static_cast<uint64_t>(un_op_));
+      return HashCombine(h, base_->Hash());
+    case ExprKind::kTupleCtor:
+      for (const auto& [n, e] : fields_) {
+        h = HashCombine(h, HashBytes(n.data(), n.size()));
+        h = HashCombine(h, e->Hash());
+      }
+      return h;
+    case ExprKind::kSetCtor:
+      for (const auto& e : args_) h = HashCombine(h, e->Hash());
+      return h;
+  }
+  return h;
+}
+
+void Expr::CollectFreeVars(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return;
+    case ExprKind::kVar:
+      if (std::find(out->begin(), out->end(), name_) == out->end()) {
+        out->push_back(name_);
+      }
+      return;
+    case ExprKind::kProperty:
+    case ExprKind::kUnary:
+      base_->CollectFreeVars(out);
+      return;
+    case ExprKind::kMethodCall:
+      base_->CollectFreeVars(out);
+      for (const auto& arg : args_) arg->CollectFreeVars(out);
+      return;
+    case ExprKind::kClassMethodCall:
+      for (const auto& arg : args_) arg->CollectFreeVars(out);
+      return;
+    case ExprKind::kBinary:
+      base_->CollectFreeVars(out);
+      rhs_->CollectFreeVars(out);
+      return;
+    case ExprKind::kTupleCtor:
+      for (const auto& [n, e] : fields_) e->CollectFreeVars(out);
+      return;
+    case ExprKind::kSetCtor:
+      for (const auto& e : args_) e->CollectFreeVars(out);
+      return;
+  }
+}
+
+std::vector<std::string> Expr::FreeVars() const {
+  std::vector<std::string> out;
+  CollectFreeVars(&out);
+  return out;
+}
+
+bool Expr::UsesVar(const std::string& name) const {
+  std::vector<std::string> vars = FreeVars();
+  return std::find(vars.begin(), vars.end(), name) != vars.end();
+}
+
+ExprRef Expr::SubstituteVar(const ExprRef& e, const std::string& from,
+                            const ExprRef& to) {
+  return SubstituteVars(e, {{from, to}});
+}
+
+ExprRef Expr::SubstituteVars(
+    const ExprRef& e, const std::map<std::string, ExprRef>& mapping) {
+  switch (e->kind_) {
+    case ExprKind::kConst:
+      return e;
+    case ExprKind::kVar: {
+      auto it = mapping.find(e->name_);
+      return it == mapping.end() ? e : it->second;
+    }
+    case ExprKind::kProperty:
+      return Property(SubstituteVars(e->base_, mapping), e->name_);
+    case ExprKind::kMethodCall: {
+      std::vector<ExprRef> args;
+      args.reserve(e->args_.size());
+      for (const auto& arg : e->args_) {
+        args.push_back(SubstituteVars(arg, mapping));
+      }
+      return MethodCall(SubstituteVars(e->base_, mapping), e->name_,
+                        std::move(args));
+    }
+    case ExprKind::kClassMethodCall: {
+      std::vector<ExprRef> args;
+      args.reserve(e->args_.size());
+      for (const auto& arg : e->args_) {
+        args.push_back(SubstituteVars(arg, mapping));
+      }
+      return ClassMethodCall(e->name_, e->method(), std::move(args));
+    }
+    case ExprKind::kBinary:
+      return Binary(e->bin_op_, SubstituteVars(e->base_, mapping),
+                    SubstituteVars(e->rhs_, mapping));
+    case ExprKind::kUnary:
+      return Unary(e->un_op_, SubstituteVars(e->base_, mapping));
+    case ExprKind::kTupleCtor: {
+      std::vector<std::pair<std::string, ExprRef>> fields;
+      fields.reserve(e->fields_.size());
+      for (const auto& [n, f] : e->fields_) {
+        fields.emplace_back(n, SubstituteVars(f, mapping));
+      }
+      return TupleCtor(std::move(fields));
+    }
+    case ExprKind::kSetCtor: {
+      std::vector<ExprRef> elems;
+      elems.reserve(e->args_.size());
+      for (const auto& el : e->args_) {
+        elems.push_back(SubstituteVars(el, mapping));
+      }
+      return SetCtor(std::move(elems));
+    }
+  }
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kConst:
+      return value_.ToString();
+    case ExprKind::kVar:
+      return name_;
+    case ExprKind::kProperty:
+      return base_->ToString() + "." + name_;
+    case ExprKind::kMethodCall: {
+      std::string out = base_->ToString() + "->" + name_ + "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i) out += ", ";
+        out += args_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kClassMethodCall: {
+      std::string out = name_ + "->" + method() + "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i) out += ", ";
+        out += args_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kBinary: {
+      return "(" + base_->ToString() + " " + BinOpName(bin_op_) + " " +
+             rhs_->ToString() + ")";
+    }
+    case ExprKind::kUnary:
+      return un_op_ == UnOp::kNot ? "NOT " + base_->ToString()
+                                  : "-" + base_->ToString();
+    case ExprKind::kTupleCtor: {
+      std::string out = "[";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i) out += ", ";
+        out += fields_[i].first + ": " + fields_[i].second->ToString();
+      }
+      return out + "]";
+    }
+    case ExprKind::kSetCtor: {
+      std::string out = "{";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i) out += ", ";
+        out += args_[i]->ToString();
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+bool Expr::IsPath() const {
+  const Expr* cur = this;
+  while (cur->kind_ == ExprKind::kProperty) cur = cur->base_.get();
+  return cur->kind_ == ExprKind::kVar;
+}
+
+void Expr::DecomposePath(std::string* var,
+                         std::vector<std::string>* props) const {
+  VODAK_DCHECK(IsPath());
+  std::vector<std::string> reversed;
+  const Expr* cur = this;
+  while (cur->kind_ == ExprKind::kProperty) {
+    reversed.push_back(cur->name_);
+    cur = cur->base_.get();
+  }
+  *var = cur->name_;
+  props->assign(reversed.rbegin(), reversed.rend());
+}
+
+}  // namespace vodak

@@ -1,0 +1,145 @@
+#ifndef VODAK_EXPR_EXPR_H_
+#define VODAK_EXPR_EXPR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace vodak {
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+/// Binary operators of VQL: comparison predicates on built-in datatypes
+/// (the θ of the restricted algebra), boolean connectives, arithmetic and
+/// the set predicates IS-IN / IS-SUBSET (§2.2, §6.1).
+enum class BinOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kIsIn,
+  kIsSubset,
+  kUnion,      ///< set union (used by rewritten plans)
+  kIntersect,  ///< set intersection (PQ in §2.3 uses INTERSECTION)
+  kDiff,       ///< set difference
+};
+
+enum class UnOp { kNot, kNeg };
+
+/// Expression node kinds. Paths are chains of kProperty; method calls on
+/// instances are kMethodCall with a receiver; class-object method calls
+/// (e.g. `Document→select_by_index(s)`) are kClassMethodCall.
+enum class ExprKind {
+  kConst,            ///< literal Value
+  kVar,              ///< query variable / algebra reference
+  kProperty,         ///< base.prop — also "property applied to a set"
+  kMethodCall,       ///< base→m(args)
+  kClassMethodCall,  ///< Class→m(args)
+  kBinary,
+  kUnary,
+  kTupleCtor,        ///< [name: expr, ...]
+  kSetCtor,          ///< {expr, ...}
+};
+
+/// Immutable expression tree with structural equality, hashing,
+/// substitution and printing. Shared between the VQL front end (S8), the
+/// query algebra operator parameters (S10) and the semantic knowledge
+/// specifications (S12), exactly as one IR serves all three levels in the
+/// paper.
+class Expr {
+ public:
+  static ExprRef Const(Value v);
+  static ExprRef Var(std::string name);
+  static ExprRef Property(ExprRef base, std::string prop);
+  /// Convenience: Var(base).p1.p2...pn
+  static ExprRef Path(std::string var, std::vector<std::string> props);
+  static ExprRef MethodCall(ExprRef base, std::string method,
+                            std::vector<ExprRef> args);
+  static ExprRef ClassMethodCall(std::string class_name, std::string method,
+                                 std::vector<ExprRef> args);
+  static ExprRef Binary(BinOp op, ExprRef lhs, ExprRef rhs);
+  static ExprRef Unary(UnOp op, ExprRef operand);
+  static ExprRef TupleCtor(
+      std::vector<std::pair<std::string, ExprRef>> fields);
+  static ExprRef SetCtor(std::vector<ExprRef> elements);
+
+  ExprKind kind() const { return kind_; }
+
+  // Accessors (DCHECKed by kind).
+  const Value& value() const;             ///< kConst
+  const std::string& var_name() const;    ///< kVar
+  const ExprRef& base() const;            ///< kProperty / kMethodCall
+  const std::string& name() const;        ///< property / method / class name
+  const std::string& method() const;      ///< kMethodCall / kClassMethodCall
+  const std::vector<ExprRef>& args() const;
+  BinOp bin_op() const;
+  UnOp un_op() const;
+  const ExprRef& lhs() const;
+  const ExprRef& rhs() const;
+  const ExprRef& operand() const;
+  const std::vector<std::pair<std::string, ExprRef>>& fields() const;
+
+  /// Structural equality.
+  static bool Equals(const ExprRef& a, const ExprRef& b);
+  uint64_t Hash() const;
+
+  /// All free variables, in first-occurrence order.
+  std::vector<std::string> FreeVars() const;
+  bool UsesVar(const std::string& name) const;
+
+  /// Returns a copy with every kVar named `from` replaced by `to`.
+  static ExprRef SubstituteVar(const ExprRef& e, const std::string& from,
+                               const ExprRef& to);
+  /// Simultaneous substitution of several variables.
+  static ExprRef SubstituteVars(
+      const ExprRef& e, const std::map<std::string, ExprRef>& mapping);
+
+  /// VQL-flavoured rendering: `p→sameDocument(q)`, `d.title == 'X'`.
+  std::string ToString() const;
+
+  /// True when this is a pure path expression var.p1...pn.
+  bool IsPath() const;
+  /// Decomposes a path into (var, props); requires IsPath().
+  void DecomposePath(std::string* var,
+                     std::vector<std::string>* props) const;
+
+ private:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  void CollectFreeVars(std::vector<std::string>* out) const;
+
+  ExprKind kind_;
+  Value value_;
+  std::string name_;   // var / property / method / class name
+  ExprRef base_;       // receiver or lhs/operand
+  ExprRef rhs_;
+  std::vector<ExprRef> args_;
+  std::vector<std::pair<std::string, ExprRef>> fields_;
+  BinOp bin_op_ = BinOp::kEq;
+  UnOp un_op_ = UnOp::kNot;
+};
+
+/// Printable operator token, e.g. "==", "IS-IN".
+const char* BinOpName(BinOp op);
+/// True for ==, !=, <, <=, >, >=, IS-IN, IS-SUBSET: the θ operators the
+/// restricted algebra admits in select/join parameters.
+bool IsComparisonOp(BinOp op);
+bool IsSetOp(BinOp op);
+
+}  // namespace vodak
+
+#endif  // VODAK_EXPR_EXPR_H_

@@ -1,0 +1,271 @@
+#include "expr/expr_eval.h"
+
+namespace vodak {
+
+namespace {
+
+bool BothNumeric(const Value& a, const Value& b) {
+  return a.is_numeric() && b.is_numeric();
+}
+
+Result<Value> Arith(BinOp op, const Value& a, const Value& b) {
+  if (!BothNumeric(a, b)) {
+    return Status::TypeError(std::string("arithmetic ") + BinOpName(op) +
+                             " on non-numeric operands " + a.ToString() +
+                             ", " + b.ToString());
+  }
+  if (a.is_int() && b.is_int()) {
+    int64_t x = a.AsInt(), y = b.AsInt();
+    switch (op) {
+      case BinOp::kAdd:
+        return Value::Int(x + y);
+      case BinOp::kSub:
+        return Value::Int(x - y);
+      case BinOp::kMul:
+        return Value::Int(x * y);
+      case BinOp::kDiv:
+        if (y == 0) return Status::ExecError("integer division by zero");
+        return Value::Int(x / y);
+      default:
+        break;
+    }
+  }
+  double x = a.AsNumeric(), y = b.AsNumeric();
+  switch (op) {
+    case BinOp::kAdd:
+      return Value::Real(x + y);
+    case BinOp::kSub:
+      return Value::Real(x - y);
+    case BinOp::kMul:
+      return Value::Real(x * y);
+    case BinOp::kDiv:
+      if (y == 0.0) return Status::ExecError("division by zero");
+      return Value::Real(x / y);
+    default:
+      break;
+  }
+  return Status::Internal("unreachable arithmetic op");
+}
+
+}  // namespace
+
+Result<Value> ExprEvaluator::ApplyBinary(BinOp op, const Value& lhs,
+                                         const Value& rhs) {
+  switch (op) {
+    case BinOp::kEq:
+      return Value::Bool(Value::Compare(lhs, rhs) == 0);
+    case BinOp::kNe:
+      return Value::Bool(Value::Compare(lhs, rhs) != 0);
+    case BinOp::kLt:
+      return Value::Bool(Value::Compare(lhs, rhs) < 0);
+    case BinOp::kLe:
+      return Value::Bool(Value::Compare(lhs, rhs) <= 0);
+    case BinOp::kGt:
+      return Value::Bool(Value::Compare(lhs, rhs) > 0);
+    case BinOp::kGe:
+      return Value::Bool(Value::Compare(lhs, rhs) >= 0);
+    case BinOp::kAnd:
+    case BinOp::kOr: {
+      if (!lhs.is_bool() || !rhs.is_bool()) {
+        return Status::TypeError(std::string(BinOpName(op)) +
+                                 " on non-boolean operands");
+      }
+      return Value::Bool(op == BinOp::kAnd
+                             ? (lhs.AsBool() && rhs.AsBool())
+                             : (lhs.AsBool() || rhs.AsBool()));
+    }
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv:
+      return Arith(op, lhs, rhs);
+    case BinOp::kIsIn: {
+      if (rhs.is_null()) return Value::Bool(false);
+      if (!rhs.is_set() && !rhs.is_array()) {
+        return Status::TypeError("IS-IN right operand is not a set: " +
+                                 rhs.ToString());
+      }
+      return Value::Bool(rhs.Contains(lhs));
+    }
+    case BinOp::kIsSubset: {
+      if (!lhs.is_set() || !rhs.is_set()) {
+        return Status::TypeError("IS-SUBSET operands must be sets");
+      }
+      return Value::Bool(SetIsSubset(lhs, rhs));
+    }
+    case BinOp::kUnion:
+    case BinOp::kIntersect:
+    case BinOp::kDiff: {
+      if (!lhs.is_set() || !rhs.is_set()) {
+        return Status::TypeError(std::string(BinOpName(op)) +
+                                 " operands must be sets: " +
+                                 lhs.ToString() + ", " + rhs.ToString());
+      }
+      if (op == BinOp::kUnion) return SetUnion(lhs, rhs);
+      if (op == BinOp::kIntersect) return SetIntersect(lhs, rhs);
+      return SetDifference(lhs, rhs);
+    }
+  }
+  return Status::Internal("unreachable binary op");
+}
+
+Result<Value> ExprEvaluator::EvalProperty(const Value& base,
+                                          const std::string& prop) const {
+  if (base.is_null()) return Value::Null();
+  if (base.is_oid()) {
+    if (base.AsOid().IsNull()) return Value::Null();
+    return ReadPropertyByName(*catalog_, *store_, base.AsOid(), prop);
+  }
+  if (base.is_tuple()) return base.GetField(prop);
+  if (base.is_set()) {
+    // Set-lifted access (§2.3): union of member results.
+    std::vector<Value> collected;
+    for (const Value& member : base.AsSet()) {
+      VODAK_ASSIGN_OR_RETURN(Value v, EvalProperty(member, prop));
+      if (v.is_set()) {
+        for (const Value& inner : v.AsSet()) collected.push_back(inner);
+      } else if (!v.is_null()) {
+        collected.push_back(std::move(v));
+      }
+    }
+    return Value::Set(std::move(collected));
+  }
+  return Status::TypeError("property '" + prop +
+                           "' accessed on non-object value " +
+                           base.ToString());
+}
+
+Result<Value> ExprEvaluator::EvalMethod(
+    const Value& base, const std::string& method,
+    const std::vector<Value>& args) const {
+  if (base.is_null()) return Value::Null();
+  if (base.is_oid()) {
+    if (base.AsOid().IsNull()) return Value::Null();
+    MethodCallContext ctx{catalog_, store_, methods_, 0};
+    return methods_->InvokeInstance(ctx, base.AsOid(), method, args);
+  }
+  if (base.is_set()) {
+    // Set-lifted invocation, mirroring set-lifted property access.
+    std::vector<Value> collected;
+    for (const Value& member : base.AsSet()) {
+      VODAK_ASSIGN_OR_RETURN(Value v, EvalMethod(member, method, args));
+      if (v.is_set()) {
+        for (const Value& inner : v.AsSet()) collected.push_back(inner);
+      } else if (!v.is_null()) {
+        collected.push_back(std::move(v));
+      }
+    }
+    return Value::Set(std::move(collected));
+  }
+  return Status::TypeError("method '" + method +
+                           "' invoked on non-object value " +
+                           base.ToString());
+}
+
+Result<Value> ExprEvaluator::Eval(const ExprRef& e, const Env& env) const {
+  switch (e->kind()) {
+    case ExprKind::kConst:
+      return e->value();
+    case ExprKind::kVar: {
+      auto it = env.find(e->var_name());
+      if (it == env.end()) {
+        return Status::BindError("unbound variable '" + e->var_name() +
+                                 "'");
+      }
+      return it->second;
+    }
+    case ExprKind::kProperty: {
+      VODAK_ASSIGN_OR_RETURN(Value base, Eval(e->base(), env));
+      return EvalProperty(base, e->name());
+    }
+    case ExprKind::kMethodCall: {
+      VODAK_ASSIGN_OR_RETURN(Value base, Eval(e->base(), env));
+      std::vector<Value> args;
+      args.reserve(e->args().size());
+      for (const auto& arg : e->args()) {
+        VODAK_ASSIGN_OR_RETURN(Value v, Eval(arg, env));
+        args.push_back(std::move(v));
+      }
+      return EvalMethod(base, e->method(), args);
+    }
+    case ExprKind::kClassMethodCall: {
+      std::vector<Value> args;
+      args.reserve(e->args().size());
+      for (const auto& arg : e->args()) {
+        VODAK_ASSIGN_OR_RETURN(Value v, Eval(arg, env));
+        args.push_back(std::move(v));
+      }
+      MethodCallContext ctx{catalog_, store_, methods_, 0};
+      return methods_->InvokeClass(ctx, e->name(), e->method(), args);
+    }
+    case ExprKind::kBinary: {
+      // Short-circuit AND / OR.
+      if (e->bin_op() == BinOp::kAnd || e->bin_op() == BinOp::kOr) {
+        VODAK_ASSIGN_OR_RETURN(Value lhs, Eval(e->lhs(), env));
+        if (!lhs.is_bool()) {
+          return Status::TypeError("boolean connective on non-boolean " +
+                                   lhs.ToString());
+        }
+        if (e->bin_op() == BinOp::kAnd && !lhs.AsBool()) {
+          return Value::Bool(false);
+        }
+        if (e->bin_op() == BinOp::kOr && lhs.AsBool()) {
+          return Value::Bool(true);
+        }
+        VODAK_ASSIGN_OR_RETURN(Value rhs, Eval(e->rhs(), env));
+        if (!rhs.is_bool()) {
+          return Status::TypeError("boolean connective on non-boolean " +
+                                   rhs.ToString());
+        }
+        return rhs;
+      }
+      VODAK_ASSIGN_OR_RETURN(Value lhs, Eval(e->lhs(), env));
+      VODAK_ASSIGN_OR_RETURN(Value rhs, Eval(e->rhs(), env));
+      return ApplyBinary(e->bin_op(), lhs, rhs);
+    }
+    case ExprKind::kUnary: {
+      VODAK_ASSIGN_OR_RETURN(Value v, Eval(e->operand(), env));
+      if (e->un_op() == UnOp::kNot) {
+        if (!v.is_bool()) {
+          return Status::TypeError("NOT on non-boolean " + v.ToString());
+        }
+        return Value::Bool(!v.AsBool());
+      }
+      if (v.is_int()) return Value::Int(-v.AsInt());
+      if (v.is_real()) return Value::Real(-v.AsReal());
+      return Status::TypeError("negation of non-numeric " + v.ToString());
+    }
+    case ExprKind::kTupleCtor: {
+      std::vector<std::pair<std::string, Value>> fields;
+      fields.reserve(e->fields().size());
+      for (const auto& [name, fe] : e->fields()) {
+        VODAK_ASSIGN_OR_RETURN(Value v, Eval(fe, env));
+        fields.emplace_back(name, std::move(v));
+      }
+      return Value::Tuple(std::move(fields));
+    }
+    case ExprKind::kSetCtor: {
+      std::vector<Value> elems;
+      elems.reserve(e->args().size());
+      for (const auto& el : e->args()) {
+        VODAK_ASSIGN_OR_RETURN(Value v, Eval(el, env));
+        elems.push_back(std::move(v));
+      }
+      return Value::Set(std::move(elems));
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<bool> ExprEvaluator::EvalPredicate(const ExprRef& e,
+                                          const Env& env) const {
+  VODAK_ASSIGN_OR_RETURN(Value v, Eval(e, env));
+  if (v.is_null()) return false;  // NIL predicate result counts as FALSE
+  if (!v.is_bool()) {
+    return Status::TypeError("condition evaluated to non-boolean " +
+                             v.ToString());
+  }
+  return v.AsBool();
+}
+
+}  // namespace vodak

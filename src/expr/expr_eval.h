@@ -1,0 +1,58 @@
+#ifndef VODAK_EXPR_EXPR_EVAL_H_
+#define VODAK_EXPR_EXPR_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "expr/expr.h"
+#include "methods/method_registry.h"
+
+namespace vodak {
+
+/// Variable bindings for one evaluation (query variable -> value).
+using Env = std::map<std::string, Value>;
+
+/// Evaluates expressions against the database. This single definition of
+/// expression semantics is shared by the naive VQL interpreter (the
+/// ground truth in correctness tests) and by the physical operators, so a
+/// plan rewrite can never silently change what an expression means.
+///
+/// Set-lifted access follows §2.3 of the paper: for a set-valued base,
+/// `S.prop` and `S→m()` denote the union of the member results ("the
+/// system-defined methods which perform the access to the property are
+/// invoked for all objects in the set").
+class ExprEvaluator {
+ public:
+  ExprEvaluator(const Catalog* catalog, ObjectStore* store,
+                MethodRegistry* methods)
+      : catalog_(catalog), store_(store), methods_(methods) {}
+
+  Result<Value> Eval(const ExprRef& e, const Env& env) const;
+
+  /// Evaluates a condition to a boolean (error if non-boolean result).
+  Result<bool> EvalPredicate(const ExprRef& e, const Env& env) const;
+
+  const Catalog* catalog() const { return catalog_; }
+  ObjectStore* store() const { return store_; }
+  MethodRegistry* methods() const { return methods_; }
+
+  /// Applies a binary operator to already-evaluated operands. Exposed so
+  /// physical operators can evaluate restricted-algebra θ parameters
+  /// without building expression trees.
+  static Result<Value> ApplyBinary(BinOp op, const Value& lhs,
+                                   const Value& rhs);
+
+ private:
+  Result<Value> EvalProperty(const Value& base,
+                             const std::string& prop) const;
+  Result<Value> EvalMethod(const Value& base, const std::string& method,
+                           const std::vector<Value>& args) const;
+
+  const Catalog* catalog_;
+  ObjectStore* store_;
+  MethodRegistry* methods_;
+};
+
+}  // namespace vodak
+
+#endif  // VODAK_EXPR_EXPR_EVAL_H_

@@ -1,0 +1,97 @@
+#include "extindex/inverted_index.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace vodak {
+
+void InvertedTextIndex::Add(Oid owner, std::string_view text) {
+  std::vector<std::string> tokens = TokenizeWords(text);
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  for (std::string& token : tokens) {
+    postings_[std::move(token)].push_back(owner);
+  }
+  ++indexed_count_;
+}
+
+std::vector<Oid> InvertedTextIndex::Search(std::string_view query) const {
+  ++search_count_;
+  std::vector<std::string> tokens = TokenizeWords(query);
+  if (tokens.empty()) return {};
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+
+  // Intersect postings, cheapest list first.
+  std::sort(tokens.begin(), tokens.end(),
+            [this](const std::string& a, const std::string& b) {
+              return DocumentFrequency(a) < DocumentFrequency(b);
+            });
+  std::vector<Oid> result;
+  bool first = true;
+  for (const std::string& token : tokens) {
+    auto it = postings_.find(token);
+    if (it == postings_.end()) return {};
+    postings_scanned_ += it->second.size();
+    if (first) {
+      result = it->second;
+      first = false;
+      continue;
+    }
+    std::vector<Oid> next;
+    std::set_intersection(result.begin(), result.end(), it->second.begin(),
+                          it->second.end(), std::back_inserter(next));
+    result = std::move(next);
+    if (result.empty()) return result;
+  }
+  return result;
+}
+
+bool InvertedTextIndex::MatchesText(std::string_view text,
+                                    std::string_view query) {
+  std::vector<std::string> query_tokens = TokenizeWords(query);
+  if (query_tokens.empty()) return false;
+  std::vector<std::string> text_tokens = TokenizeWords(text);
+  std::sort(text_tokens.begin(), text_tokens.end());
+  for (const std::string& token : query_tokens) {
+    if (!std::binary_search(text_tokens.begin(), text_tokens.end(),
+                            token)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t InvertedTextIndex::DocumentFrequency(
+    const std::string& word) const {
+  auto it = postings_.find(word);
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+void OrderedAttributeIndex::Insert(const std::string& key, Oid oid) {
+  auto& bucket = entries_[key];
+  bucket.insert(std::upper_bound(bucket.begin(), bucket.end(), oid), oid);
+  ++entry_count_;
+}
+
+std::vector<Oid> OrderedAttributeIndex::Lookup(
+    const std::string& key) const {
+  ++lookup_count_;
+  auto it = entries_.find(key);
+  return it == entries_.end() ? std::vector<Oid>{} : it->second;
+}
+
+std::vector<Oid> OrderedAttributeIndex::LookupRange(
+    const std::string& lo, const std::string& hi) const {
+  ++lookup_count_;
+  std::vector<Oid> out;
+  for (auto it = entries_.lower_bound(lo);
+       it != entries_.end() && it->first <= hi; ++it) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vodak

@@ -1,0 +1,185 @@
+#include "methods/method_registry.h"
+
+namespace vodak {
+
+namespace {
+constexpr int kMaxMethodDepth = 64;
+}  // namespace
+
+Result<Value> ReadPropertyByName(const Catalog& catalog,
+                                 const ObjectStore& store, Oid oid,
+                                 const std::string& property) {
+  const ClassDef* cls = catalog.FindClassById(oid.class_id);
+  if (cls == nullptr) {
+    return Status::NotFound("oid " + oid.ToString() +
+                            " refers to unknown class");
+  }
+  const PropertyDef* prop = cls->FindProperty(property);
+  if (prop == nullptr) {
+    return Status::NotFound("class '" + cls->name() +
+                            "' has no property '" + property + "'");
+  }
+  return store.GetProperty(oid, prop->slot);
+}
+
+Status MethodRegistry::Register(const std::string& class_name,
+                                MethodSig sig, MethodImpl impl,
+                                MethodCost cost) {
+  Key key{class_name, sig.name, sig.level};
+  if (methods_.count(key) > 0) {
+    return Status::AlreadyExists("method implementation '" + class_name +
+                                 "::" + sig.name + "'");
+  }
+  RegisteredMethod method;
+  method.sig = std::move(sig);
+  method.impl = std::move(impl);
+  method.cost = cost;
+  methods_.emplace(std::move(key), std::move(method));
+  return Status::OK();
+}
+
+Status MethodRegistry::InstallQueryThunk(const std::string& class_name,
+                                         const std::string& method,
+                                         MethodLevel level, NativeFn thunk) {
+  auto it = methods_.find(Key{class_name, method, level});
+  if (it == methods_.end()) {
+    return Status::NotFound("method '" + class_name + "::" + method + "'");
+  }
+  if (it->second.impl.kind != MethodImplKind::kQueryDefined) {
+    return Status::InvalidArgument("method '" + class_name + "::" + method +
+                                   "' is not query-defined");
+  }
+  it->second.impl.native = std::move(thunk);
+  return Status::OK();
+}
+
+const MethodRegistry::RegisteredMethod* MethodRegistry::Find(
+    const std::string& class_name, const std::string& method,
+    MethodLevel level) const {
+  auto it = methods_.find(Key{class_name, method, level});
+  return it == methods_.end() ? nullptr : &it->second;
+}
+
+const MethodRegistry::RegisteredMethod* MethodRegistry::FindAny(
+    const std::string& method, MethodLevel level) const {
+  for (const auto& [key, reg] : methods_) {
+    if (key.method == method && key.level == level) return &reg;
+  }
+  return nullptr;
+}
+
+Status MethodRegistry::SetCost(const std::string& class_name,
+                               const std::string& method, MethodLevel level,
+                               MethodCost cost) {
+  auto it = methods_.find(Key{class_name, method, level});
+  if (it == methods_.end()) {
+    return Status::NotFound("method '" + class_name + "::" + method + "'");
+  }
+  it->second.cost = cost;
+  return Status::OK();
+}
+
+Result<Value> MethodRegistry::EvalPath(
+    MethodCallContext& ctx, const std::vector<std::string>& path,
+    Oid self) const {
+  Value current = Value::OfOid(self);
+  for (const std::string& step : path) {
+    if (!current.is_oid()) {
+      return Status::ExecError("path method step '" + step +
+                               "' applied to non-object value " +
+                               current.ToString());
+    }
+    if (current.AsOid().IsNull()) return Value::Null();
+    VODAK_ASSIGN_OR_RETURN(
+        current,
+        ReadPropertyByName(*ctx.catalog, *ctx.store, current.AsOid(), step));
+  }
+  return current;
+}
+
+Result<Value> MethodRegistry::Dispatch(MethodCallContext& ctx,
+                                       const RegisteredMethod& method,
+                                       const Value& self,
+                                       const std::vector<Value>& args) const {
+  if (ctx.depth > kMaxMethodDepth) {
+    return Status::ExecError("method recursion limit exceeded in '" +
+                             method.sig.name + "'");
+  }
+  ++method.invocations;
+  ++total_invocations_;
+  switch (method.impl.kind) {
+    case MethodImplKind::kPath:
+      if (!self.is_oid()) {
+        return Status::ExecError("path method '" + method.sig.name +
+                                 "' needs an object receiver");
+      }
+      return EvalPath(ctx, method.impl.path, self.AsOid());
+    case MethodImplKind::kNative:
+    case MethodImplKind::kQueryDefined:
+      if (!method.impl.native) {
+        return Status::Internal("method '" + method.sig.name +
+                                "' has no runnable implementation");
+      }
+      return method.impl.native(ctx, self, args);
+  }
+  return Status::Internal("unreachable method dispatch");
+}
+
+Result<Value> MethodRegistry::InvokeInstance(
+    MethodCallContext& ctx, Oid self, const std::string& method,
+    const std::vector<Value>& args) const {
+  const ClassDef* cls = ctx.catalog->FindClassById(self.class_id);
+  if (cls == nullptr) {
+    return Status::NotFound("receiver " + self.ToString() +
+                            " has unknown class");
+  }
+  const RegisteredMethod* reg =
+      Find(cls->name(), method, MethodLevel::kInstance);
+  if (reg == nullptr) {
+    return Status::NotFound("class '" + cls->name() +
+                            "' has no instance method '" + method + "'");
+  }
+  if (reg->sig.params.size() != args.size()) {
+    return Status::InvalidArgument(
+        "method '" + method + "' expects " +
+        std::to_string(reg->sig.params.size()) + " arguments, got " +
+        std::to_string(args.size()));
+  }
+  MethodCallContext inner = ctx;
+  ++inner.depth;
+  return Dispatch(inner, *reg, Value::OfOid(self), args);
+}
+
+Result<Value> MethodRegistry::InvokeClass(
+    MethodCallContext& ctx, const std::string& class_name,
+    const std::string& method, const std::vector<Value>& args) const {
+  const RegisteredMethod* reg =
+      Find(class_name, method, MethodLevel::kClassObject);
+  if (reg == nullptr) {
+    return Status::NotFound("class object '" + class_name +
+                            "' has no method '" + method + "'");
+  }
+  if (reg->sig.params.size() != args.size()) {
+    return Status::InvalidArgument(
+        "method '" + method + "' expects " +
+        std::to_string(reg->sig.params.size()) + " arguments, got " +
+        std::to_string(args.size()));
+  }
+  MethodCallContext inner = ctx;
+  ++inner.depth;
+  return Dispatch(inner, *reg, Value::Null(), args);
+}
+
+uint64_t MethodRegistry::invocation_count(const std::string& class_name,
+                                          const std::string& method,
+                                          MethodLevel level) const {
+  const RegisteredMethod* reg = Find(class_name, method, level);
+  return reg == nullptr ? 0 : reg->invocations;
+}
+
+void MethodRegistry::ResetCounters() {
+  for (auto& [key, method] : methods_) method.invocations = 0;
+  total_invocations_ = 0;
+}
+
+}  // namespace vodak

@@ -1,0 +1,162 @@
+#ifndef VODAK_METHODS_METHOD_REGISTRY_H_
+#define VODAK_METHODS_METHOD_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "objstore/object_store.h"
+#include "schema/catalog.h"
+#include "types/value.h"
+
+namespace vodak {
+
+class MethodRegistry;
+
+/// Everything a method body may touch. Native method implementations
+/// receive this so that internally-encoded methods (like
+/// `Paragraph::document`) can read properties and invoke other methods,
+/// while external methods typically capture their own state (an index)
+/// in the closure instead.
+struct MethodCallContext {
+  const Catalog* catalog = nullptr;
+  ObjectStore* store = nullptr;
+  MethodRegistry* methods = nullptr;
+  /// Recursion guard for method bodies calling methods.
+  int depth = 0;
+};
+
+/// A native method body. `self` is the receiver instance Oid for
+/// instance methods and the null Value for class-object methods.
+using NativeFn = std::function<Result<Value>(
+    MethodCallContext&, const Value& self, const std::vector<Value>& args)>;
+
+/// The paper's implementation dimension (§2.1): internally encoded
+/// (kPath covers the `RETURN section.document` style; kNative with
+/// `is_external=false` covers other internal code), externally
+/// implemented (kNative with `is_external=true`), and methods whose body
+/// is a declarative query (§5.1 "methods may incorporate queries").
+enum class MethodImplKind { kNative, kPath, kQueryDefined };
+
+/// Implementation payload of a registered method.
+struct MethodImpl {
+  MethodImplKind kind = MethodImplKind::kNative;
+  NativeFn native;
+  /// For kPath: the property chain, e.g. {"section", "document"}.
+  std::vector<std::string> path;
+  /// For kQueryDefined: the VQL text (documentation / rule derivation);
+  /// the runnable thunk is installed into `native` by the engine.
+  std::string query_text;
+  /// Marks the §2.1 external-implementation category (IR functions etc.).
+  bool is_external = false;
+};
+
+/// Optimizer-facing cost annotations (§2.3: "attributes are assumed to be
+/// obtained at uniform access cost. This is not true for methods").
+struct MethodCost {
+  /// Abstract cost units per invocation (property read = 1.0).
+  double per_call = 1.0;
+  /// For boolean methods: fraction of receivers evaluating to TRUE.
+  double selectivity = 0.5;
+  /// For set-valued methods: expected result cardinality.
+  double fanout = 1.0;
+};
+
+/// Registry of method implementations and runtime statistics, keyed by
+/// (class name, level, method name). The registry performs dispatch and
+/// counts invocations; counters feed the benchmark harness.
+class MethodRegistry {
+ public:
+  struct RegisteredMethod {
+    MethodSig sig;
+    MethodImpl impl;
+    MethodCost cost;
+    mutable uint64_t invocations = 0;
+  };
+
+  MethodRegistry() = default;
+  MethodRegistry(const MethodRegistry&) = delete;
+  MethodRegistry& operator=(const MethodRegistry&) = delete;
+
+  /// Registers an implementation for a method already declared in the
+  /// catalog class `class_name`.
+  Status Register(const std::string& class_name, MethodSig sig,
+                  MethodImpl impl, MethodCost cost = MethodCost{});
+
+  /// Replaces the runnable thunk of a query-defined method (installed by
+  /// the engine once the interpreter exists).
+  Status InstallQueryThunk(const std::string& class_name,
+                           const std::string& method, MethodLevel level,
+                           NativeFn thunk);
+
+  const RegisteredMethod* Find(const std::string& class_name,
+                               const std::string& method,
+                               MethodLevel level) const;
+
+  /// Replaces the cost annotation of a registered method. Called after
+  /// data load to calibrate the optimizer's statistics to the corpus.
+  Status SetCost(const std::string& class_name, const std::string& method,
+                 MethodLevel level, MethodCost cost);
+
+  /// First registered method with this name at this level, regardless of
+  /// class. Used by the cost model when the receiver class cannot be
+  /// inferred from an expression alone.
+  const RegisteredMethod* FindAny(const std::string& method,
+                                  MethodLevel level) const;
+
+  /// Dispatches an instance method on receiver `self`.
+  Result<Value> InvokeInstance(MethodCallContext& ctx, Oid self,
+                               const std::string& method,
+                               const std::vector<Value>& args) const;
+
+  /// Dispatches a class-object (OWNTYPE) method.
+  Result<Value> InvokeClass(MethodCallContext& ctx,
+                            const std::string& class_name,
+                            const std::string& method,
+                            const std::vector<Value>& args) const;
+
+  uint64_t invocation_count(const std::string& class_name,
+                            const std::string& method,
+                            MethodLevel level) const;
+  void ResetCounters();
+
+  /// Total method invocations since construction/reset.
+  uint64_t total_invocations() const { return total_invocations_; }
+
+ private:
+  struct Key {
+    std::string class_name;
+    std::string method;
+    MethodLevel level;
+    bool operator<(const Key& o) const {
+      if (class_name != o.class_name) return class_name < o.class_name;
+      if (method != o.method) return method < o.method;
+      return level < o.level;
+    }
+  };
+
+  Result<Value> Dispatch(MethodCallContext& ctx,
+                         const RegisteredMethod& method, const Value& self,
+                         const std::vector<Value>& args) const;
+
+  Result<Value> EvalPath(MethodCallContext& ctx,
+                         const std::vector<std::string>& path,
+                         Oid self) const;
+
+  std::map<Key, RegisteredMethod> methods_;
+  mutable uint64_t total_invocations_ = 0;
+};
+
+/// Resolves a property of `oid` by name through the catalog and reads it
+/// from the store. Shared helper for path methods, the interpreter and
+/// the physical operators.
+Result<Value> ReadPropertyByName(const Catalog& catalog,
+                                 const ObjectStore& store, Oid oid,
+                                 const std::string& property);
+
+}  // namespace vodak
+
+#endif  // VODAK_METHODS_METHOD_REGISTRY_H_

@@ -1,0 +1,109 @@
+#include "objstore/object_store.h"
+
+namespace vodak {
+
+uint32_t ObjectStore::RegisterClass(std::string debug_name,
+                                    uint32_t slot_count) {
+  ClassStorage storage;
+  storage.debug_name = std::move(debug_name);
+  storage.slot_count = slot_count;
+  classes_.push_back(std::move(storage));
+  return static_cast<uint32_t>(classes_.size());
+}
+
+const ObjectStore::ClassStorage* ObjectStore::FindClass(
+    uint32_t class_id) const {
+  if (class_id == 0 || class_id > classes_.size()) return nullptr;
+  return &classes_[class_id - 1];
+}
+
+Result<Oid> ObjectStore::CreateObject(uint32_t class_id) {
+  const ClassStorage* cls = FindClass(class_id);
+  if (cls == nullptr) {
+    return Status::NotFound("unknown class id " + std::to_string(class_id));
+  }
+  auto& storage = classes_[class_id - 1];
+  Instance inst;
+  inst.live = true;
+  inst.slots.assign(storage.slot_count, Value::Null());
+  storage.instances.push_back(std::move(inst));
+  ++storage.live_count;
+  ++stats_.objects_created;
+  // local ids start at 1 so that Oid{0,0} stays the NIL reference.
+  return Oid(class_id, static_cast<uint32_t>(storage.instances.size()));
+}
+
+Status ObjectStore::DeleteObject(Oid oid) {
+  VODAK_RETURN_IF_ERROR(CheckOid(oid, /*slot=*/0, "delete"));
+  auto& inst = classes_[oid.class_id - 1].instances[oid.local - 1];
+  inst.live = false;
+  inst.slots.clear();
+  --classes_[oid.class_id - 1].live_count;
+  ++stats_.objects_deleted;
+  return Status::OK();
+}
+
+bool ObjectStore::Exists(Oid oid) const {
+  const ClassStorage* cls = FindClass(oid.class_id);
+  if (cls == nullptr) return false;
+  if (oid.local == 0 || oid.local > cls->instances.size()) return false;
+  return cls->instances[oid.local - 1].live;
+}
+
+Status ObjectStore::CheckOid(Oid oid, uint32_t slot, const char* op) const {
+  const ClassStorage* cls = FindClass(oid.class_id);
+  if (cls == nullptr) {
+    return Status::NotFound(std::string(op) + ": unknown class in oid " +
+                            oid.ToString());
+  }
+  if (oid.local == 0 || oid.local > cls->instances.size() ||
+      !cls->instances[oid.local - 1].live) {
+    return Status::NotFound(std::string(op) + ": dangling oid " +
+                            oid.ToString());
+  }
+  if (slot >= cls->slot_count) {
+    return Status::InvalidArgument(std::string(op) + ": slot " +
+                                   std::to_string(slot) +
+                                   " out of range for class '" +
+                                   cls->debug_name + "'");
+  }
+  return Status::OK();
+}
+
+Result<Value> ObjectStore::GetProperty(Oid oid, uint32_t slot) const {
+  VODAK_RETURN_IF_ERROR(CheckOid(oid, slot, "get"));
+  ++stats_.property_reads;
+  return classes_[oid.class_id - 1].instances[oid.local - 1].slots[slot];
+}
+
+Status ObjectStore::SetProperty(Oid oid, uint32_t slot, Value value) {
+  VODAK_RETURN_IF_ERROR(CheckOid(oid, slot, "set"));
+  ++stats_.property_writes;
+  classes_[oid.class_id - 1].instances[oid.local - 1].slots[slot] =
+      std::move(value);
+  return Status::OK();
+}
+
+Result<std::vector<Oid>> ObjectStore::Extent(uint32_t class_id) const {
+  const ClassStorage* cls = FindClass(class_id);
+  if (cls == nullptr) {
+    return Status::NotFound("unknown class id " + std::to_string(class_id));
+  }
+  ++stats_.extent_scans;
+  std::vector<Oid> out;
+  out.reserve(cls->live_count);
+  for (uint32_t i = 0; i < cls->instances.size(); ++i) {
+    if (cls->instances[i].live) out.emplace_back(class_id, i + 1);
+  }
+  return out;
+}
+
+Result<uint64_t> ObjectStore::ExtentSize(uint32_t class_id) const {
+  const ClassStorage* cls = FindClass(class_id);
+  if (cls == nullptr) {
+    return Status::NotFound("unknown class id " + std::to_string(class_id));
+  }
+  return cls->live_count;
+}
+
+}  // namespace vodak

@@ -1,0 +1,90 @@
+#ifndef VODAK_OBJSTORE_OBJECT_STORE_H_
+#define VODAK_OBJSTORE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/oid.h"
+#include "types/value.h"
+
+namespace vodak {
+
+/// Counters exposed by the store. Benchmarks and the cost-model
+/// calibration read these to *measure* property accesses and extent scans
+/// instead of guessing, which is how we validate the paper's claims about
+/// access cost asymmetry between attributes and methods.
+struct StoreStats {
+  uint64_t property_reads = 0;
+  uint64_t property_writes = 0;
+  uint64_t objects_created = 0;
+  uint64_t objects_deleted = 0;
+  uint64_t extent_scans = 0;
+
+  void Reset() { *this = StoreStats(); }
+};
+
+/// In-memory object store: the VODAK-kernel substitute (DESIGN.md S3).
+///
+/// A class is registered with a number of property slots; instances are
+/// rows of Value slots addressed by Oid {class_id, local}. Extents are
+/// maintained per class with tombstoned deletion so Oids stay stable.
+/// The store knows nothing about property *names* or methods — the schema
+/// catalog (S4) maps names to slots, keeping this layer reusable.
+class ObjectStore {
+ public:
+  ObjectStore() = default;
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Registers storage for a class; returns its class id (>= 1).
+  uint32_t RegisterClass(std::string debug_name, uint32_t slot_count);
+
+  uint32_t class_count() const {
+    return static_cast<uint32_t>(classes_.size());
+  }
+
+  /// Creates an instance with all slots NULL.
+  Result<Oid> CreateObject(uint32_t class_id);
+
+  /// Tombstones an object; its Oid becomes invalid.
+  Status DeleteObject(Oid oid);
+
+  bool Exists(Oid oid) const;
+
+  Result<Value> GetProperty(Oid oid, uint32_t slot) const;
+  Status SetProperty(Oid oid, uint32_t slot, Value value);
+
+  /// Live instances of a class, in creation order. Counts as one extent
+  /// scan in the stats.
+  Result<std::vector<Oid>> Extent(uint32_t class_id) const;
+
+  /// Number of live instances (cardinality statistic for the optimizer).
+  Result<uint64_t> ExtentSize(uint32_t class_id) const;
+
+  const StoreStats& stats() const { return stats_; }
+  StoreStats* mutable_stats() { return &stats_; }
+
+ private:
+  struct Instance {
+    bool live = false;
+    std::vector<Value> slots;
+  };
+  struct ClassStorage {
+    std::string debug_name;
+    uint32_t slot_count = 0;
+    uint64_t live_count = 0;
+    std::vector<Instance> instances;
+  };
+
+  Status CheckOid(Oid oid, uint32_t slot, const char* op) const;
+  const ClassStorage* FindClass(uint32_t class_id) const;
+
+  std::vector<ClassStorage> classes_;  // index = class_id - 1
+  mutable StoreStats stats_;
+};
+
+}  // namespace vodak
+
+#endif  // VODAK_OBJSTORE_OBJECT_STORE_H_

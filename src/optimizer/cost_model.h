@@ -1,0 +1,77 @@
+#ifndef VODAK_OPTIMIZER_COST_MODEL_H_
+#define VODAK_OPTIMIZER_COST_MODEL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/logical.h"
+#include "methods/method_registry.h"
+
+namespace vodak {
+namespace opt {
+
+/// Argument-aware method statistics, e.g. the selectivity of
+/// `contains_string('implementation')` derived from the inverted index's
+/// document frequency. Providers are installed per schema (the paper's
+/// per-schema optimizer generation, §7); the first provider returning a
+/// value wins, the registry's static MethodCost annotation is the
+/// fallback.
+struct MethodStats {
+  double per_call = 1.0;
+  double selectivity = 0.5;
+  double fanout = 1.0;
+};
+
+using MethodStatsProvider = std::function<std::optional<MethodStats>(
+    const std::string& class_name, const std::string& method,
+    MethodLevel level, const std::vector<ExprRef>& args)>;
+
+/// The "simple cost model" of §7, with the §2.3 refinement the paper
+/// demands: attribute access has uniform unit cost, while each method
+/// carries its own per-call cost, selectivity and fanout. Costs are
+/// abstract units (1.0 = one property read).
+class CostModel {
+ public:
+  CostModel(const Catalog* catalog, const ObjectStore* store,
+            const MethodRegistry* methods,
+            std::vector<MethodStatsProvider> providers = {});
+
+  /// |extension(class)|.
+  double ExtentCardinality(const std::string& class_name) const;
+
+  /// Estimated output cardinality of `node` given child cardinalities.
+  double EstimateCardinality(const algebra::LogicalNode& node,
+                             const std::vector<double>& child_cards) const;
+
+  /// Local processing cost of `node` (children already produced).
+  double LocalCost(const algebra::LogicalNode& node,
+                   const std::vector<double>& child_cards) const;
+
+  /// Per-tuple evaluation cost of an expression: 1.0 per property hop,
+  /// the method's per-call cost per method invocation, epsilon for
+  /// built-in operators.
+  double ExprCost(const ExprRef& expr) const;
+
+  /// Selectivity of a boolean condition (product over conjuncts).
+  double Selectivity(const ExprRef& cond) const;
+
+  /// Expected cardinality of a set-valued expression (flat/expr_source).
+  double Fanout(const ExprRef& expr) const;
+
+  /// Statistics for one method call expression (kMethodCall or
+  /// kClassMethodCall), consulting providers then the registry.
+  MethodStats StatsForCall(const ExprRef& call) const;
+
+ private:
+  const Catalog* catalog_;
+  const ObjectStore* store_;
+  const MethodRegistry* methods_;
+  std::vector<MethodStatsProvider> providers_;
+};
+
+}  // namespace opt
+}  // namespace vodak
+
+#endif  // VODAK_OPTIMIZER_COST_MODEL_H_

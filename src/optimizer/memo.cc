@@ -1,0 +1,220 @@
+#include "optimizer/memo.h"
+
+#include "common/string_util.h"
+
+namespace vodak {
+namespace opt {
+
+using algebra::LogicalNode;
+using algebra::LogicalOp;
+using algebra::LogicalRef;
+
+int Memo::Find(int group) const {
+  int root = group;
+  while (parent_[root] != root) root = parent_[root];
+  return root;
+}
+
+size_t Memo::group_count() const {
+  size_t n = 0;
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    if (parent_[i] == static_cast<int>(i)) ++n;
+  }
+  return n;
+}
+
+uint64_t Memo::ProtoKeyHash(const LogicalRef& proto,
+                            const std::vector<int>& children) const {
+  // The proto already embeds canonical GroupRef children, but we mix the
+  // child ids explicitly for robustness.
+  uint64_t h = proto->Hash();
+  for (int c : children) h = HashCombine(h, static_cast<uint64_t>(c));
+  return h;
+}
+
+Result<int> Memo::InsertRec(const LogicalRef& node) {
+  if (node->op() == LogicalOp::kGroupRef) {
+    if (node->group_id() < 0 ||
+        node->group_id() >= static_cast<int>(groups_.size())) {
+      return Status::Internal("dangling group reference ?G" +
+                              std::to_string(node->group_id()));
+    }
+    return Find(node->group_id());
+  }
+  std::vector<int> children;
+  std::vector<LogicalRef> child_refs;
+  children.reserve(node->inputs().size());
+  for (const auto& input : node->inputs()) {
+    VODAK_ASSIGN_OR_RETURN(int g, InsertRec(input));
+    children.push_back(g);
+    child_refs.push_back(ctx_->GroupRef(g, groups_[g].schema));
+  }
+  LogicalRef proto;
+  if (child_refs.empty()) {
+    proto = node;
+  } else {
+    VODAK_ASSIGN_OR_RETURN(proto,
+                           ctx_->WithInputs(*node, std::move(child_refs)));
+  }
+  VODAK_ASSIGN_OR_RETURN(int expr_id, AddExpr(proto, children, -1));
+  return Find(exprs_[expr_id]->group);
+}
+
+Result<int> Memo::Insert(const LogicalRef& node) {
+  return InsertRec(node);
+}
+
+Result<int> Memo::InsertIntoGroup(const LogicalRef& node,
+                                  int target_group) {
+  if (node->op() == LogicalOp::kGroupRef) {
+    // The rule proved the whole expression equal to one of its input
+    // groups (e.g. natural_join elimination): merge.
+    int g = Find(node->group_id());
+    int t = Find(target_group);
+    if (g != t) MergeGroups(t, g);
+    return -1;
+  }
+  std::vector<int> children;
+  std::vector<LogicalRef> child_refs;
+  for (const auto& input : node->inputs()) {
+    VODAK_ASSIGN_OR_RETURN(int g, InsertRec(input));
+    children.push_back(g);
+    child_refs.push_back(ctx_->GroupRef(g, groups_[g].schema));
+  }
+  LogicalRef proto;
+  if (child_refs.empty()) {
+    proto = node;
+  } else {
+    VODAK_ASSIGN_OR_RETURN(proto,
+                           ctx_->WithInputs(*node, std::move(child_refs)));
+  }
+  return AddExpr(proto, children, target_group);
+}
+
+Result<int> Memo::AddExpr(const LogicalRef& proto,
+                          std::vector<int> children, int target_group) {
+  for (int& c : children) c = Find(c);
+  uint64_t key = ProtoKeyHash(proto, children);
+  auto it = dedup_.find(key);
+  if (it != dedup_.end()) {
+    for (int candidate : it->second) {
+      const MemoExpr& existing = *exprs_[candidate];
+      if (existing.children == children &&
+          LogicalNode::Equals(existing.proto, proto)) {
+        if (target_group >= 0 &&
+            Find(existing.group) != Find(target_group)) {
+          MergeGroups(Find(target_group), Find(existing.group));
+        }
+        return candidate;
+      }
+    }
+  }
+  // Self-reference check: an expression may not live in a group it uses
+  // as input (would make extraction cyclic).
+  if (target_group >= 0) {
+    for (int c : children) {
+      if (c == Find(target_group)) {
+        return Status::PlanError("rule produced self-referential plan");
+      }
+    }
+  }
+
+  auto memo_expr = std::make_unique<MemoExpr>();
+  memo_expr->id = static_cast<int>(exprs_.size());
+  memo_expr->proto = proto;
+  memo_expr->children = std::move(children);
+  if (target_group < 0) {
+    Group group;
+    group.id = static_cast<int>(groups_.size());
+    group.schema = proto->schema();
+    groups_.push_back(group);
+    parent_.push_back(group.id);
+    memo_expr->group = group.id;
+  } else {
+    memo_expr->group = Find(target_group);
+  }
+  groups_[memo_expr->group].exprs.push_back(memo_expr->id);
+  dedup_[key].push_back(memo_expr->id);
+  int id = memo_expr->id;
+  for (int c : memo_expr->children) {
+    groups_[c].parents.push_back(id);
+  }
+  int changed_group = memo_expr->group;
+  exprs_.push_back(std::move(memo_expr));
+  ++groups_[changed_group].version;
+  if (group_changed_) group_changed_(changed_group);
+  return id;
+}
+
+void Memo::MergeGroups(int a, int b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return;
+  // Keep the smaller id as representative for stable output.
+  if (b < a) std::swap(a, b);
+  parent_[b] = a;
+  for (int e : groups_[b].exprs) {
+    exprs_[e]->group = a;
+    groups_[a].exprs.push_back(e);
+  }
+  groups_[b].exprs.clear();
+  groups_[a].parents.insert(groups_[a].parents.end(),
+                            groups_[b].parents.begin(),
+                            groups_[b].parents.end());
+  groups_[b].parents.clear();
+  // Costs are stale after a merge.
+  groups_[a].best_known = false;
+  if (!groups_[a].card_known && groups_[b].card_known) {
+    groups_[a].cardinality = groups_[b].cardinality;
+    groups_[a].card_known = true;
+  }
+  groups_[a].version += groups_[b].version + 1;
+  // Retire expressions the merge made self-referential.
+  for (int e : groups_[a].exprs) {
+    if (exprs_[e]->dead) continue;
+    for (int c : exprs_[e]->children) {
+      if (Find(c) == a) {
+        exprs_[e]->dead = true;
+        break;
+      }
+    }
+  }
+  if (group_changed_) group_changed_(a);
+}
+
+Result<LogicalRef> Memo::Extract(
+    int expr_id, const std::function<int(int)>& chooser) const {
+  const MemoExpr& e = *exprs_[expr_id];
+  std::vector<LogicalRef> child_plans;
+  child_plans.reserve(e.children.size());
+  for (int child_group : e.children) {
+    int child_expr = chooser(Find(child_group));
+    if (child_expr < 0) {
+      return Status::PlanError("no plan chosen for group " +
+                               std::to_string(Find(child_group)));
+    }
+    VODAK_ASSIGN_OR_RETURN(LogicalRef plan, Extract(child_expr, chooser));
+    child_plans.push_back(std::move(plan));
+  }
+  if (child_plans.empty()) return e.proto;
+  return ctx_->WithInputs(*e.proto, std::move(child_plans));
+}
+
+std::string Memo::ToString() const {
+  std::string out;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (parent_[g] != static_cast<int>(g) || groups_[g].exprs.empty()) {
+      continue;
+    }
+    out += "group " + std::to_string(g) +
+           " (card=" + std::to_string(groups_[g].cardinality) + "):\n";
+    for (int e : groups_[g].exprs) {
+      out += "  #" + std::to_string(e) + " " + exprs_[e]->proto->ToString() +
+             "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace opt
+}  // namespace vodak

@@ -1,0 +1,125 @@
+#ifndef VODAK_OPTIMIZER_MEMO_H_
+#define VODAK_OPTIMIZER_MEMO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/logical.h"
+#include "common/result.h"
+
+namespace vodak {
+namespace opt {
+
+/// One logical expression inside the memo: an operator whose inputs are
+/// groups. `proto` is the node with kGroupRef children (the canonical
+/// form used for duplicate detection).
+struct MemoExpr {
+  int id = -1;
+  int group = -1;
+  algebra::LogicalRef proto;
+  std::vector<int> children;
+  /// Bitmask of rules already applied to this expression (Volcano's
+  /// protection against re-deriving; also realizes the paper's ⟶!).
+  uint64_t applied_mask = 0;
+  /// Sum of child-group versions when deep-pattern rules last fired;
+  /// ~0 marks "never".
+  uint64_t deep_seen_version = ~0ULL;
+  /// Set when a group merge made this expression reference its own
+  /// group (e.g. natural_join(X, get) ∈ X after get-elimination).
+  /// Such tautological members are unusable in plans and poison
+  /// exploration (unbounded join re-association), so the memo retires
+  /// them.
+  bool dead = false;
+};
+
+/// An equivalence class of logical expressions (Volcano group). Search
+/// state (best cost/expression) is memoized here.
+struct Group {
+  int id = -1;
+  algebra::RefSchema schema;
+  std::vector<int> exprs;
+  /// Expressions in *other* groups that use this group as an input.
+  /// Deep-pattern rules on those parents must re-fire when this group
+  /// gains members, so the exploration enqueues them on version bumps.
+  std::vector<int> parents;
+  /// Bumped whenever the group gains an expression or absorbs a merge.
+  uint64_t version = 0;
+  /// Estimated output cardinality (from the first inserted expression —
+  /// a logical property shared by all members).
+  double cardinality = 1.0;
+  bool card_known = false;
+  // FindBestPlan memoization.
+  bool best_known = false;
+  double best_cost = 0.0;
+  int best_expr = -1;
+};
+
+/// The Volcano memo: equivalence classes of logical expressions with
+/// structural duplicate detection. Inserting an expression that already
+/// exists in another group merges the two groups (union-find), which is
+/// how transformation chains like §2.3's Q→…→PQ end up proving all
+/// intermediate forms equivalent.
+class Memo {
+ public:
+  explicit Memo(const algebra::AlgebraContext* ctx) : ctx_(ctx) {}
+
+  /// Copies a full logical tree into the memo; returns the root group.
+  Result<int> Insert(const algebra::LogicalRef& node);
+
+  /// Inserts `node` (whose leaves may be kGroupRef placeholders) as a
+  /// member of group `target_group`; merges groups on duplicates.
+  /// Returns the id of the (new or existing) expression, or -1 when the
+  /// expression was already known in this group.
+  Result<int> InsertIntoGroup(const algebra::LogicalRef& node,
+                              int target_group);
+
+  int Find(int group) const;  // union-find representative
+
+  const Group& group(int id) const { return groups_[Find(id)]; }
+  Group& group(int id) { return groups_[Find(id)]; }
+  const MemoExpr& expr(int id) const { return *exprs_[id]; }
+  MemoExpr& expr(int id) { return *exprs_[id]; }
+
+  size_t group_count() const;
+  size_t expr_count() const { return exprs_.size(); }
+
+  /// Rebuilds a full logical tree from an expression, recursively taking
+  /// each child group's `chooser(group)` expression.
+  Result<algebra::LogicalRef> Extract(
+      int expr_id, const std::function<int(int)>& chooser) const;
+
+  /// Dump for the demonstrator / debugging: every group with its
+  /// expressions.
+  std::string ToString() const;
+
+  /// Invoked with a group id whenever that group's version bumps (new
+  /// member or merge); the exploration uses this to re-enqueue parents.
+  void SetGroupChangedCallback(std::function<void(int)> callback) {
+    group_changed_ = std::move(callback);
+  }
+
+ private:
+  Result<int> InsertRec(const algebra::LogicalRef& node);
+  Result<int> AddExpr(const algebra::LogicalRef& proto,
+                      std::vector<int> children, int target_group);
+  void MergeGroups(int a, int b);
+  uint64_t ProtoKeyHash(const algebra::LogicalRef& proto,
+                        const std::vector<int>& children) const;
+
+  const algebra::AlgebraContext* ctx_;
+  std::vector<Group> groups_;
+  std::vector<int> parent_;  // union-find over groups
+  std::vector<std::unique_ptr<MemoExpr>> exprs_;
+  // canonical-form hash -> expr ids (collisions resolved by Equals).
+  std::unordered_map<uint64_t, std::vector<int>> dedup_;
+  std::function<void(int)> group_changed_;
+};
+
+}  // namespace opt
+}  // namespace vodak
+
+#endif  // VODAK_OPTIMIZER_MEMO_H_

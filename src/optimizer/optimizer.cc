@@ -1,0 +1,338 @@
+#include "optimizer/optimizer.h"
+#include <iostream>
+
+#include <deque>
+#include <limits>
+
+namespace vodak {
+namespace opt {
+
+using algebra::AlgebraContext;
+using algebra::LogicalNode;
+using algebra::LogicalOp;
+using algebra::LogicalRef;
+
+int Pattern::Depth() const {
+  if (is_wildcard()) return 0;
+  int depth = 0;
+  for (const auto& child : children) depth = std::max(depth, child.Depth());
+  return depth + 1;
+}
+
+Optimizer::Optimizer(const AlgebraContext* ctx, const CostModel* cost,
+                     std::vector<RulePtr> rules, OptimizerOptions options)
+    : ctx_(ctx),
+      cost_(cost),
+      rules_(std::move(rules)),
+      options_(options) {
+  VODAK_CHECK(rules_.size() <= 64)
+      << "applied_mask is a 64-bit bitmap; got " << rules_.size()
+      << " rules";
+}
+
+/// Internal exploration + search state for one Optimize call.
+struct Optimizer::Search {
+  Optimizer* self;
+  Memo memo;
+  size_t rule_applications = 0;  // productive (new-expression) rewrites
+  size_t attempts = 0;           // all generated results incl. duplicates
+  std::vector<TraceEntry> trace;
+  std::vector<char> group_in_progress;
+
+  explicit Search(Optimizer* owner) : self(owner), memo(owner->ctx_) {}
+
+  /// Cardinality of a group, computed lazily from its first expression.
+  double GroupCard(int gid) {
+    Group& group = memo.group(gid);
+    if (group.card_known) return group.cardinality;
+    group.card_known = true;  // set first: guards against cycles
+    group.cardinality = 1.0;
+    for (int expr_id : group.exprs) {
+      const MemoExpr& e = memo.expr(expr_id);
+      if (e.dead) continue;
+      std::vector<double> child_cards;
+      child_cards.reserve(e.children.size());
+      for (int c : e.children) child_cards.push_back(GroupCard(c));
+      group.cardinality =
+          self->cost_->EstimateCardinality(*e.proto, child_cards);
+      break;
+    }
+    return group.cardinality;
+  }
+
+  /// Enumerates bindings of `pattern` rooted at memo expression
+  /// `expr_id`; each binding is a tree with kGroupRef wildcard leaves.
+  void Bindings(int expr_id, const Pattern& pattern,
+                std::vector<LogicalRef>* out) {
+    const MemoExpr& e = memo.expr(expr_id);
+    if (pattern.is_wildcard()) {
+      out->push_back(
+          self->ctx_->GroupRef(memo.Find(e.group),
+                               memo.group(e.group).schema));
+      return;
+    }
+    if (pattern.any_operator) {
+      out->push_back(e.proto);  // children are already group refs
+      return;
+    }
+    if (e.proto->op() != *pattern.op) return;
+    if (pattern.children.empty()) {
+      out->push_back(e.proto);
+      return;
+    }
+    if (pattern.children.size() != e.children.size()) return;
+    // Cross product of child bindings.
+    std::vector<std::vector<LogicalRef>> child_options(e.children.size());
+    for (size_t i = 0; i < e.children.size(); ++i) {
+      const Pattern& child_pattern = pattern.children[i];
+      if (child_pattern.is_wildcard()) {
+        child_options[i].push_back(self->ctx_->GroupRef(
+            memo.Find(e.children[i]), memo.group(e.children[i]).schema));
+        continue;
+      }
+      for (int child_expr : memo.group(e.children[i]).exprs) {
+        if (memo.expr(child_expr).dead) continue;
+        Bindings(child_expr, child_pattern, &child_options[i]);
+      }
+      if (child_options[i].empty()) return;
+    }
+    std::vector<size_t> idx(e.children.size(), 0);
+    for (;;) {
+      std::vector<LogicalRef> children;
+      children.reserve(e.children.size());
+      for (size_t i = 0; i < idx.size(); ++i) {
+        children.push_back(child_options[i][idx[i]]);
+      }
+      auto bound = self->ctx_->WithInputs(*e.proto, std::move(children));
+      if (bound.ok()) out->push_back(std::move(bound).value());
+      // Advance the odometer.
+      size_t k = 0;
+      for (; k < idx.size(); ++k) {
+        if (++idx[k] < child_options[k].size()) break;
+        idx[k] = 0;
+      }
+      if (k == idx.size()) break;
+    }
+  }
+
+  std::deque<int> queue;
+  std::vector<char> queued;
+
+  void Enqueue(int expr_id) {
+    if (expr_id >= static_cast<int>(queued.size())) {
+      queued.resize(static_cast<size_t>(expr_id) + 64, 0);
+    }
+    if (queued[expr_id]) return;
+    queued[expr_id] = 1;
+    queue.push_back(expr_id);
+  }
+
+  uint64_t ChildVersionSum(const MemoExpr& e) {
+    uint64_t sum = 0;
+    for (int c : e.children) sum += memo.group(c).version;
+    return sum;
+  }
+
+  /// Applies one rule to one expression; inserts the results.
+  Status ApplyRule(int expr_id, size_t r) {
+    const TransformationRule& rule = *self->rules_[r];
+    uint64_t bit = 1ULL << r;
+    std::vector<LogicalRef> bindings;
+    Bindings(expr_id, rule.pattern(), &bindings);
+    for (const LogicalRef& binding : bindings) {
+      std::vector<LogicalRef> results;
+      Status status = rule.Apply(*self->ctx_, binding, &results);
+      if (!status.ok()) continue;  // rule declined this binding
+      for (const LogicalRef& result : results) {
+        ++attempts;
+        size_t before_count = memo.expr_count();
+        size_t before_groups = memo.group_count();
+        int target = memo.Find(memo.expr(expr_id).group);
+        auto inserted = memo.InsertIntoGroup(result, target);
+        if (!inserted.ok()) continue;
+        bool is_new = memo.expr_count() > before_count ||
+                      memo.group_count() < before_groups;
+        if (is_new) {
+          ++rule_applications;
+          if (inserted.value() >= 0 && rule.apply_once()) {
+            memo.expr(inserted.value()).applied_mask |= bit;
+          }
+          // Enqueue every expression the insertion created — including
+          // the ones InsertRec added for nested subtrees in fresh
+          // groups, which would otherwise never be explored.
+          for (size_t i = before_count; i < memo.expr_count(); ++i) {
+            Enqueue(static_cast<int>(i));
+          }
+          if (self->options_.enable_trace) {
+            trace.push_back(TraceEntry{rule.name(), binding->ToString(),
+                                       result->ToString(), target});
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Exhaustive transformation closure (Volcano's exploration),
+  /// worklist-driven. Rules whose pattern is one operator deep bind only
+  /// the expression itself (inputs are whole groups), so they fire once
+  /// per expression, guarded by applied_mask. Deeper patterns also
+  /// enumerate child-group members, so their expressions re-fire
+  /// whenever a child group gains members (group version bumps →
+  /// parents re-enqueued via the memo callback). Duplicate detection
+  /// plus the expression cap guarantee termination; apply-once rules
+  /// (the paper's ⟶!) stay masked forever.
+  Status Explore() {
+    memo.SetGroupChangedCallback([this](int gid) {
+      for (int parent : memo.group(gid).parents) Enqueue(parent);
+      // Exprs inside the group may satisfy deep rules of new siblings'
+      // parents only; members themselves need no re-fire (their own
+      // bindings are unchanged) except through their parents above.
+    });
+    for (size_t i = 0; i < memo.expr_count(); ++i) {
+      Enqueue(static_cast<int>(i));
+    }
+    while (!queue.empty()) {
+      if (memo.expr_count() > self->options_.max_exprs) {
+        if (self->options_.enable_trace) {
+          std::cerr << memo.ToString();  // debugging aid on overflow
+          for (const auto& t : trace) {
+            std::cerr << "[" << t.rule << "] " << t.before << " => "
+                      << t.after << "\n";
+          }
+        }
+        return Status::PlanError(
+            "optimizer memo exceeded max_exprs limit (" +
+            std::to_string(self->options_.max_exprs) + ")");
+      }
+      if (attempts > self->options_.max_rule_applications) {
+        return Status::PlanError(
+            "optimizer exceeded rule application limit");
+      }
+      int expr_id = queue.front();
+      queue.pop_front();
+      queued[expr_id] = 0;
+      if (memo.expr(expr_id).dead) continue;
+      uint64_t child_version = ChildVersionSum(memo.expr(expr_id));
+      bool deep_due =
+          memo.expr(expr_id).deep_seen_version != child_version;
+      for (size_t r = 0; r < self->rules_.size(); ++r) {
+        const TransformationRule& rule = *self->rules_[r];
+        uint64_t bit = 1ULL << r;
+        bool deep = rule.pattern().Depth() >= 2;
+        if (deep) {
+          if (!deep_due &&
+              (memo.expr(expr_id).applied_mask & bit)) {
+            continue;
+          }
+        } else if (memo.expr(expr_id).applied_mask & bit) {
+          continue;
+        }
+        memo.expr(expr_id).applied_mask |= bit;
+        VODAK_RETURN_IF_ERROR(ApplyRule(expr_id, r));
+      }
+      memo.expr(expr_id).deep_seen_version = child_version;
+    }
+    memo.SetGroupChangedCallback(nullptr);
+    return Status::OK();
+  }
+
+  /// Volcano FindBestPlan: memoized per group, with local pruning — an
+  /// expression is abandoned as soon as its accumulated cost exceeds the
+  /// best already found in the group.
+  double FindBest(int gid) {
+    gid = memo.Find(gid);
+    Group& group = memo.group(gid);
+    if (group.best_known) return group.best_cost;
+    if (group_in_progress[gid]) {
+      return std::numeric_limits<double>::infinity();  // cyclic candidate
+    }
+    group_in_progress[gid] = 1;
+    double best = std::numeric_limits<double>::infinity();
+    int best_expr = -1;
+    for (int expr_id : group.exprs) {
+      const MemoExpr& e = memo.expr(expr_id);
+      if (e.dead) continue;
+      std::vector<double> child_cards;
+      child_cards.reserve(e.children.size());
+      bool skip = false;
+      for (int c : e.children) {
+        if (memo.Find(c) == gid) {
+          skip = true;  // self-referential after a merge
+          break;
+        }
+        child_cards.push_back(GroupCard(c));
+      }
+      if (skip) continue;
+      double cost = self->cost_->LocalCost(*e.proto, child_cards);
+      if (cost >= best) continue;  // branch-and-bound: local bound
+      for (int c : e.children) {
+        cost += FindBest(c);
+        if (cost >= best) break;
+      }
+      if (cost < best) {
+        best = cost;
+        best_expr = expr_id;
+      }
+    }
+    group_in_progress[gid] = 0;
+    group.best_known = true;
+    group.best_cost = best;
+    group.best_expr = best_expr;
+    return best;
+  }
+};
+
+double Optimizer::PlanCost(const LogicalRef& plan) const {
+  std::vector<double> child_cards;
+  double cost = 0.0;
+  for (const auto& input : plan->inputs()) {
+    cost += PlanCost(input);
+  }
+  std::function<double(const LogicalRef&)> card =
+      [&](const LogicalRef& node) -> double {
+    std::vector<double> cards;
+    for (const auto& input : node->inputs()) cards.push_back(card(input));
+    return cost_->EstimateCardinality(*node, cards);
+  };
+  for (const auto& input : plan->inputs()) {
+    child_cards.push_back(card(input));
+  }
+  return cost + cost_->LocalCost(*plan, child_cards);
+}
+
+Result<OptimizeResult> Optimizer::Optimize(const LogicalRef& plan) {
+  Search search(this);
+  VODAK_ASSIGN_OR_RETURN(int root_group, search.memo.Insert(plan));
+  VODAK_RETURN_IF_ERROR(search.Explore());
+
+  // Group ids are bounded by the number of expressions ever inserted.
+  search.group_in_progress.assign(search.memo.expr_count() + 16, 0);
+
+  double best_cost = search.FindBest(root_group);
+  const Group& root = search.memo.group(root_group);
+  if (root.best_expr < 0) {
+    return Status::PlanError("no plan found for root group");
+  }
+  auto chooser = [&search](int gid) {
+    return search.memo.group(gid).best_expr;
+  };
+  VODAK_ASSIGN_OR_RETURN(LogicalRef best_plan,
+                         search.memo.Extract(root.best_expr, chooser));
+
+  OptimizeResult result;
+  result.best_plan = std::move(best_plan);
+  result.best_cost = best_cost;
+  result.original_cost = PlanCost(plan);
+  result.group_count = search.memo.group_count();
+  result.expr_count = search.memo.expr_count();
+  result.rule_applications = search.rule_applications;
+  result.trace = std::move(search.trace);
+  if (options_.enable_trace) {
+    result.memo_dump = search.memo.ToString();
+  }
+  return result;
+}
+
+}  // namespace opt
+}  // namespace vodak

@@ -1,0 +1,74 @@
+#ifndef VODAK_OPTIMIZER_OPTIMIZER_H_
+#define VODAK_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "optimizer/cost_model.h"
+#include "optimizer/memo.h"
+#include "optimizer/rule.h"
+
+namespace vodak {
+namespace opt {
+
+struct OptimizerOptions {
+  /// Hard cap on memo expressions — safety net against rule explosions.
+  size_t max_exprs = 50000;
+  size_t max_rule_applications = 500000;
+  /// Record every rule application (the §7 demonstrator's storyboard).
+  bool enable_trace = false;
+};
+
+/// One recorded rule application for the optimization trace.
+struct TraceEntry {
+  std::string rule;
+  std::string before;
+  std::string after;
+  int group = -1;
+};
+
+struct OptimizeResult {
+  algebra::LogicalRef best_plan;
+  double best_cost = 0.0;
+  double original_cost = 0.0;
+  size_t group_count = 0;
+  size_t expr_count = 0;
+  size_t rule_applications = 0;
+  std::vector<TraceEntry> trace;
+  /// Memo dump (filled when tracing is enabled).
+  std::string memo_dump;
+};
+
+/// The generated optimizer module: exhaustive application of the
+/// transformation rules over a Volcano memo, followed by cost-based plan
+/// extraction with per-group memoization and local branch-and-bound
+/// pruning (§6.1). One Optimizer instance is generated per schema with
+/// that schema's derived rules and statistics — see OptimizerGenerator
+/// in semantics/.
+class Optimizer {
+ public:
+  Optimizer(const algebra::AlgebraContext* ctx, const CostModel* cost,
+            std::vector<RulePtr> rules, OptimizerOptions options = {});
+
+  Result<OptimizeResult> Optimize(const algebra::LogicalRef& plan);
+
+  /// Cost of a concrete plan tree under this optimizer's cost model
+  /// (used to report the cost of the unoptimized plan).
+  double PlanCost(const algebra::LogicalRef& plan) const;
+
+  const std::vector<RulePtr>& rules() const { return rules_; }
+
+ private:
+  struct Search;
+
+  const algebra::AlgebraContext* ctx_;
+  const CostModel* cost_;
+  std::vector<RulePtr> rules_;
+  OptimizerOptions options_;
+};
+
+}  // namespace opt
+}  // namespace vodak
+
+#endif  // VODAK_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,113 @@
+#include "schema/catalog.h"
+
+#include <memory>
+
+namespace vodak {
+
+Status ClassDef::AddProperty(std::string name, TypeRef type) {
+  if (FindProperty(name) != nullptr) {
+    return Status::AlreadyExists("property '" + name + "' in class '" +
+                                 name_ + "'");
+  }
+  PropertyDef def;
+  def.name = std::move(name);
+  def.type = std::move(type);
+  def.slot = static_cast<uint32_t>(properties_.size());
+  properties_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status ClassDef::AddMethod(MethodSig sig) {
+  if (FindMethod(sig.name, sig.level) != nullptr) {
+    return Status::AlreadyExists("method '" + sig.name + "' in class '" +
+                                 name_ + "'");
+  }
+  if (sig.level == MethodLevel::kInstance) {
+    instance_methods_.push_back(std::move(sig));
+  } else {
+    class_methods_.push_back(std::move(sig));
+  }
+  return Status::OK();
+}
+
+const PropertyDef* ClassDef::FindProperty(const std::string& name) const {
+  for (const auto& p : properties_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const MethodSig* ClassDef::FindMethod(const std::string& name,
+                                      MethodLevel level) const {
+  const auto& methods = level == MethodLevel::kInstance ? instance_methods_
+                                                        : class_methods_;
+  for (const auto& m : methods) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::string ClassDef::ToString() const {
+  std::string out = "CLASS " + name_ + "\n";
+  if (!class_methods_.empty()) {
+    out += "  OWNTYPE OBJECTTYPE\n    METHODS:\n";
+    for (const auto& m : class_methods_) {
+      out += "      " + m.name + "(";
+      for (size_t i = 0; i < m.params.size(); ++i) {
+        if (i) out += ", ";
+        out += m.params[i].first + ": " + m.params[i].second->ToString();
+      }
+      out += "): " + m.return_type->ToString() + ";\n";
+    }
+    out += "  END;\n";
+  }
+  out += "  INSTTYPE OBJECTTYPE\n";
+  if (!properties_.empty()) {
+    out += "    PROPERTIES:\n";
+    for (const auto& p : properties_) {
+      out += "      " + p.name + ": " + p.type->ToString() + ";\n";
+    }
+  }
+  if (!instance_methods_.empty()) {
+    out += "    METHODS:\n";
+    for (const auto& m : instance_methods_) {
+      out += "      " + m.name + "(";
+      for (size_t i = 0; i < m.params.size(); ++i) {
+        if (i) out += ", ";
+        out += m.params[i].first + ": " + m.params[i].second->ToString();
+      }
+      out += "): " + m.return_type->ToString() + ";\n";
+    }
+  }
+  out += "  END;\nEND;\n";
+  return out;
+}
+
+Result<ClassDef*> Catalog::DefineClass(const std::string& name) {
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("class '" + name + "'");
+  }
+  auto cls = std::make_unique<ClassDef>(
+      name, static_cast<uint32_t>(classes_.size() + 1));
+  ClassDef* ptr = cls.get();
+  classes_.push_back(std::move(cls));
+  by_name_[name] = ptr;
+  return ptr;
+}
+
+const ClassDef* Catalog::FindClass(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+ClassDef* Catalog::FindClassMutable(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const ClassDef* Catalog::FindClassById(uint32_t class_id) const {
+  if (class_id == 0 || class_id > classes_.size()) return nullptr;
+  return classes_[class_id - 1].get();
+}
+
+}  // namespace vodak

@@ -1,0 +1,104 @@
+#ifndef VODAK_SCHEMA_CATALOG_H_
+#define VODAK_SCHEMA_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/type.h"
+
+namespace vodak {
+
+/// Instance property (VML "PROPERTIES" section). The slot is the storage
+/// index inside ObjectStore instances; it equals the declaration order.
+struct PropertyDef {
+  std::string name;
+  TypeRef type;
+  uint32_t slot = 0;
+};
+
+/// OWNTYPE methods belong to the class object (e.g.
+/// `Document→select_by_index`), INSTTYPE methods to instances
+/// (e.g. `p→contains_string`). This mirrors §2.1 of the paper.
+enum class MethodLevel { kInstance, kClassObject };
+
+/// Method signature as declared in the schema. Implementations live in
+/// the MethodRegistry (S5); the catalog is pure metadata so that the
+/// binder and the optimizer can reason about queries without touching
+/// executable code — exactly the encapsulation the paper preserves
+/// ("without revealing the real method implementation", §9).
+struct MethodSig {
+  std::string name;
+  std::vector<std::pair<std::string, TypeRef>> params;
+  TypeRef return_type;
+  MethodLevel level = MethodLevel::kInstance;
+};
+
+/// A class definition: properties (instance state) plus instance-level and
+/// class-object-level method signatures.
+class ClassDef {
+ public:
+  ClassDef(std::string name, uint32_t class_id)
+      : name_(std::move(name)), class_id_(class_id) {}
+
+  const std::string& name() const { return name_; }
+  uint32_t class_id() const { return class_id_; }
+
+  Status AddProperty(std::string name, TypeRef type);
+  Status AddMethod(MethodSig sig);
+
+  const std::vector<PropertyDef>& properties() const { return properties_; }
+  const std::vector<MethodSig>& instance_methods() const {
+    return instance_methods_;
+  }
+  const std::vector<MethodSig>& class_methods() const {
+    return class_methods_;
+  }
+
+  /// nullptr when absent.
+  const PropertyDef* FindProperty(const std::string& name) const;
+  const MethodSig* FindMethod(const std::string& name,
+                              MethodLevel level) const;
+
+  /// VML-flavoured rendering of the CLASS declaration (for EXPLAIN and
+  /// docs).
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  uint32_t class_id_;
+  std::vector<PropertyDef> properties_;
+  std::vector<MethodSig> instance_methods_;
+  std::vector<MethodSig> class_methods_;
+};
+
+/// The schema catalog: class name -> definition. Class ids are assigned
+/// sequentially starting at 1, in definition order, matching the
+/// registration order in ObjectStore.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Result<ClassDef*> DefineClass(const std::string& name);
+
+  const ClassDef* FindClass(const std::string& name) const;
+  ClassDef* FindClassMutable(const std::string& name);
+  const ClassDef* FindClassById(uint32_t class_id) const;
+
+  size_t class_count() const { return classes_.size(); }
+  const std::vector<std::unique_ptr<ClassDef>>& classes() const {
+    return classes_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ClassDef>> classes_;
+  std::map<std::string, ClassDef*> by_name_;
+};
+
+}  // namespace vodak
+
+#endif  // VODAK_SCHEMA_CATALOG_H_

@@ -1,0 +1,32 @@
+#include "semantics/generator.h"
+
+namespace vodak {
+namespace semantics {
+
+Result<GeneratedOptimizer> OptimizerGenerator::Generate(
+    const KnowledgeBase* knowledge,
+    std::vector<opt::MethodStatsProvider> providers,
+    opt::OptimizerOptions options) const {
+  GeneratedOptimizer generated;
+  generated.algebra = std::make_unique<algebra::AlgebraContext>(catalog_);
+  generated.cost = std::make_unique<opt::CostModel>(
+      catalog_, store_, methods_, std::move(providers));
+
+  std::vector<opt::RulePtr> rules = opt::BuiltinRules();
+  if (knowledge != nullptr) {
+    std::vector<opt::RulePtr> derived = knowledge->DeriveRules();
+    rules.insert(rules.end(), derived.begin(), derived.end());
+  }
+  if (rules.size() > 64) {
+    return Status::Unsupported(
+        "optimizer supports at most 64 rules (builtin + derived), got " +
+        std::to_string(rules.size()));
+  }
+  generated.optimizer = std::make_unique<opt::Optimizer>(
+      generated.algebra.get(), generated.cost.get(), std::move(rules),
+      options);
+  return generated;
+}
+
+}  // namespace semantics
+}  // namespace vodak

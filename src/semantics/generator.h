@@ -1,0 +1,50 @@
+#ifndef VODAK_SEMANTICS_GENERATOR_H_
+#define VODAK_SEMANTICS_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+#include "semantics/knowledge.h"
+
+namespace vodak {
+namespace semantics {
+
+/// A generated optimizer module bound to one schema: its algebra
+/// factory, its cost model (with the schema's statistics providers) and
+/// the rule-complete Optimizer instance.
+struct GeneratedOptimizer {
+  std::unique_ptr<algebra::AlgebraContext> algebra;
+  std::unique_ptr<opt::CostModel> cost;
+  std::unique_ptr<opt::Optimizer> optimizer;
+};
+
+/// The §7 mechanism: "We integrate schema-specific semantics in the
+/// optimization process by mapping them to transformation and
+/// implementation rules, adding these rules … to the predefined rules
+/// and operators, and generating an individual optimizer module for each
+/// schema." Generate() performs exactly that assembly.
+class OptimizerGenerator {
+ public:
+  OptimizerGenerator(const Catalog* catalog, const ObjectStore* store,
+                     const MethodRegistry* methods)
+      : catalog_(catalog), store_(store), methods_(methods) {}
+
+  /// Builds an optimizer module from the predefined rule set plus the
+  /// rules derived from `knowledge` (pass nullptr for a semantics-free
+  /// optimizer — the ablation baseline).
+  Result<GeneratedOptimizer> Generate(
+      const KnowledgeBase* knowledge,
+      std::vector<opt::MethodStatsProvider> providers = {},
+      opt::OptimizerOptions options = {}) const;
+
+ private:
+  const Catalog* catalog_;
+  const ObjectStore* store_;
+  const MethodRegistry* methods_;
+};
+
+}  // namespace semantics
+}  // namespace vodak
+
+#endif  // VODAK_SEMANTICS_GENERATOR_H_

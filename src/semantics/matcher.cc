@@ -1,0 +1,262 @@
+#include "semantics/matcher.h"
+
+namespace vodak {
+namespace semantics {
+
+namespace {
+
+/// The inferred type of `target` in `schema` is an object of
+/// `class_name`.
+bool HasClassType(const ExprRef& target, const std::string& class_name,
+                  const algebra::AlgebraContext& ctx,
+                  const algebra::RefSchema& schema) {
+  TypeRef type;
+  auto bound = ctx.BindInSchema(target, schema, &type);
+  if (!bound.ok()) return false;
+  return type->kind() == TypeKind::kOid && type->class_name() == class_name;
+}
+
+}  // namespace
+
+bool MatchExpr(const ExprPattern& pattern, const ExprRef& pattern_node,
+               const ExprRef& target, const algebra::AlgebraContext& ctx,
+               const algebra::RefSchema& schema, Bindings* bindings) {
+  // Pattern variables: receiver (class-typed) and parameters (free).
+  if (pattern_node->kind() == ExprKind::kVar) {
+    const std::string& name = pattern_node->var_name();
+    bool is_receiver = name == pattern.receiver_var;
+    bool is_param = pattern.param_vars.count(name) > 0;
+    if (is_receiver || is_param) {
+      auto it = bindings->find(name);
+      if (it != bindings->end()) {
+        return Expr::Equals(it->second, target);
+      }
+      if (is_receiver &&
+          !HasClassType(target, pattern.receiver_class, ctx, schema)) {
+        return false;
+      }
+      (*bindings)[name] = target;
+      return true;
+    }
+    // A literal variable in the pattern matches only itself.
+    return target->kind() == ExprKind::kVar &&
+           target->var_name() == name;
+  }
+
+  if (pattern_node->kind() != target->kind()) return false;
+  switch (pattern_node->kind()) {
+    case ExprKind::kConst:
+      return pattern_node->value() == target->value();
+    case ExprKind::kVar:
+      return true;  // handled above
+    case ExprKind::kProperty:
+      return pattern_node->name() == target->name() &&
+             MatchExpr(pattern, pattern_node->base(), target->base(), ctx,
+                       schema, bindings);
+    case ExprKind::kMethodCall: {
+      if (pattern_node->method() != target->method()) return false;
+      if (pattern_node->args().size() != target->args().size()) {
+        return false;
+      }
+      if (!MatchExpr(pattern, pattern_node->base(), target->base(), ctx,
+                     schema, bindings)) {
+        return false;
+      }
+      for (size_t i = 0; i < pattern_node->args().size(); ++i) {
+        if (!MatchExpr(pattern, pattern_node->args()[i], target->args()[i],
+                       ctx, schema, bindings)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ExprKind::kClassMethodCall: {
+      if (pattern_node->name() != target->name() ||
+          pattern_node->method() != target->method() ||
+          pattern_node->args().size() != target->args().size()) {
+        return false;
+      }
+      for (size_t i = 0; i < pattern_node->args().size(); ++i) {
+        if (!MatchExpr(pattern, pattern_node->args()[i], target->args()[i],
+                       ctx, schema, bindings)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ExprKind::kBinary:
+      return pattern_node->bin_op() == target->bin_op() &&
+             MatchExpr(pattern, pattern_node->lhs(), target->lhs(), ctx,
+                       schema, bindings) &&
+             MatchExpr(pattern, pattern_node->rhs(), target->rhs(), ctx,
+                       schema, bindings);
+    case ExprKind::kUnary:
+      return pattern_node->un_op() == target->un_op() &&
+             MatchExpr(pattern, pattern_node->operand(), target->operand(),
+                       ctx, schema, bindings);
+    case ExprKind::kTupleCtor: {
+      if (pattern_node->fields().size() != target->fields().size()) {
+        return false;
+      }
+      for (size_t i = 0; i < pattern_node->fields().size(); ++i) {
+        if (pattern_node->fields()[i].first != target->fields()[i].first) {
+          return false;
+        }
+        if (!MatchExpr(pattern, pattern_node->fields()[i].second,
+                       target->fields()[i].second, ctx, schema,
+                       bindings)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ExprKind::kSetCtor: {
+      if (pattern_node->args().size() != target->args().size()) {
+        return false;
+      }
+      for (size_t i = 0; i < pattern_node->args().size(); ++i) {
+        if (!MatchExpr(pattern, pattern_node->args()[i], target->args()[i],
+                       ctx, schema, bindings)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MatchWhole(const ExprPattern& pattern, const ExprRef& target,
+                const algebra::AlgebraContext& ctx,
+                const algebra::RefSchema& schema, Bindings* bindings) {
+  return MatchExpr(pattern, pattern.expr, target, ctx, schema, bindings);
+}
+
+namespace {
+
+using Rebuild = std::function<ExprRef(ExprRef)>;
+
+/// Recursion carrying a "rebuild the whole expression with this subtree
+/// replaced" continuation.
+void RewriteRec(const ExprPattern& pattern, const ExprRef& replacement,
+                const ExprRef& node, const algebra::AlgebraContext& ctx,
+                const algebra::RefSchema& schema, const Rebuild& rebuild,
+                std::vector<ExprRef>* out) {
+  Bindings bindings;
+  if (MatchExpr(pattern, pattern.expr, node, ctx, schema, &bindings)) {
+    std::map<std::string, ExprRef> substitution(bindings.begin(),
+                                                bindings.end());
+    out->push_back(
+        rebuild(Expr::SubstituteVars(replacement, substitution)));
+  }
+  switch (node->kind()) {
+    case ExprKind::kConst:
+    case ExprKind::kVar:
+      return;
+    case ExprKind::kProperty:
+      RewriteRec(pattern, replacement, node->base(), ctx, schema,
+                 [&](ExprRef sub) {
+                   return rebuild(
+                       Expr::Property(std::move(sub), node->name()));
+                 },
+                 out);
+      return;
+    case ExprKind::kMethodCall: {
+      RewriteRec(pattern, replacement, node->base(), ctx, schema,
+                 [&](ExprRef sub) {
+                   return rebuild(Expr::MethodCall(
+                       std::move(sub), node->method(), node->args()));
+                 },
+                 out);
+      for (size_t i = 0; i < node->args().size(); ++i) {
+        RewriteRec(pattern, replacement, node->args()[i], ctx, schema,
+                   [&, i](ExprRef sub) {
+                     std::vector<ExprRef> args = node->args();
+                     args[i] = std::move(sub);
+                     return rebuild(Expr::MethodCall(
+                         node->base(), node->method(), std::move(args)));
+                   },
+                   out);
+      }
+      return;
+    }
+    case ExprKind::kClassMethodCall: {
+      for (size_t i = 0; i < node->args().size(); ++i) {
+        RewriteRec(pattern, replacement, node->args()[i], ctx, schema,
+                   [&, i](ExprRef sub) {
+                     std::vector<ExprRef> args = node->args();
+                     args[i] = std::move(sub);
+                     return rebuild(Expr::ClassMethodCall(
+                         node->name(), node->method(), std::move(args)));
+                   },
+                   out);
+      }
+      return;
+    }
+    case ExprKind::kBinary: {
+      RewriteRec(pattern, replacement, node->lhs(), ctx, schema,
+                 [&](ExprRef sub) {
+                   return rebuild(Expr::Binary(node->bin_op(),
+                                               std::move(sub),
+                                               node->rhs()));
+                 },
+                 out);
+      RewriteRec(pattern, replacement, node->rhs(), ctx, schema,
+                 [&](ExprRef sub) {
+                   return rebuild(Expr::Binary(node->bin_op(), node->lhs(),
+                                               std::move(sub)));
+                 },
+                 out);
+      return;
+    }
+    case ExprKind::kUnary:
+      RewriteRec(pattern, replacement, node->operand(), ctx, schema,
+                 [&](ExprRef sub) {
+                   return rebuild(
+                       Expr::Unary(node->un_op(), std::move(sub)));
+                 },
+                 out);
+      return;
+    case ExprKind::kTupleCtor: {
+      for (size_t i = 0; i < node->fields().size(); ++i) {
+        RewriteRec(pattern, replacement, node->fields()[i].second, ctx,
+                   schema,
+                   [&, i](ExprRef sub) {
+                     auto fields = node->fields();
+                     fields[i].second = std::move(sub);
+                     return rebuild(Expr::TupleCtor(std::move(fields)));
+                   },
+                   out);
+      }
+      return;
+    }
+    case ExprKind::kSetCtor: {
+      for (size_t i = 0; i < node->args().size(); ++i) {
+        RewriteRec(pattern, replacement, node->args()[i], ctx, schema,
+                   [&, i](ExprRef sub) {
+                     std::vector<ExprRef> elems = node->args();
+                     elems[i] = std::move(sub);
+                     return rebuild(Expr::SetCtor(std::move(elems)));
+                   },
+                   out);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ExprRef> RewriteOnce(const ExprPattern& pattern,
+                                 const ExprRef& replacement,
+                                 const ExprRef& expr,
+                                 const algebra::AlgebraContext& ctx,
+                                 const algebra::RefSchema& schema) {
+  std::vector<ExprRef> out;
+  RewriteRec(pattern, replacement, expr, ctx, schema,
+             [](ExprRef e) { return e; }, &out);
+  return out;
+}
+
+}  // namespace semantics
+}  // namespace vodak

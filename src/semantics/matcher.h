@@ -1,0 +1,57 @@
+#ifndef VODAK_SEMANTICS_MATCHER_H_
+#define VODAK_SEMANTICS_MATCHER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algebra/logical.h"
+#include "expr/expr.h"
+
+namespace vodak {
+namespace semantics {
+
+/// A schema-specific expression pattern, the `expr1(x)` of a §4.2
+/// knowledge specification. `receiver_var` is the universally
+/// quantified variable (`∀x IN C`), which matches any subexpression of
+/// type C; `param_vars` are the free parameters (`s` in E2, `D` in E3),
+/// which match arbitrary subexpressions.
+struct ExprPattern {
+  ExprRef expr;
+  std::string receiver_var;
+  std::string receiver_class;
+  std::set<std::string> param_vars;
+};
+
+using Bindings = std::map<std::string, ExprRef>;
+
+/// Matches `target` against `pattern.expr`, extending `bindings`.
+/// The receiver variable only binds to targets whose inferred type (in
+/// `schema`) is an object of `pattern.receiver_class` — this realizes
+/// the side condition `?A<?a1, C>` of the paper's rules. Pattern
+/// variables bind consistently (same variable, same subexpression).
+bool MatchExpr(const ExprPattern& pattern, const ExprRef& pattern_node,
+               const ExprRef& target, const algebra::AlgebraContext& ctx,
+               const algebra::RefSchema& schema, Bindings* bindings);
+
+/// Every way of rewriting exactly one occurrence of `pattern` inside
+/// `expr` by the instantiated `replacement` template. Each result is the
+/// complete rewritten expression (unbound — callers re-bind through the
+/// algebra factories).
+std::vector<ExprRef> RewriteOnce(const ExprPattern& pattern,
+                                 const ExprRef& replacement,
+                                 const ExprRef& expr,
+                                 const algebra::AlgebraContext& ctx,
+                                 const algebra::RefSchema& schema);
+
+/// Matches the whole of `target` (no traversal); on success fills
+/// `bindings`.
+bool MatchWhole(const ExprPattern& pattern, const ExprRef& target,
+                const algebra::AlgebraContext& ctx,
+                const algebra::RefSchema& schema, Bindings* bindings);
+
+}  // namespace semantics
+}  // namespace vodak
+
+#endif  // VODAK_SEMANTICS_MATCHER_H_

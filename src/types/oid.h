@@ -1,0 +1,53 @@
+#ifndef VODAK_TYPES_OID_H_
+#define VODAK_TYPES_OID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vodak {
+
+/// Typed object identifier, VML's primitive reference type. An Oid names an
+/// instance within a class extent: `class_id` indexes the catalog, `local`
+/// indexes the extent. The null Oid (0,0) plays the role of VML's NIL.
+struct Oid {
+  uint32_t class_id = 0;
+  uint32_t local = 0;
+
+  constexpr Oid() = default;
+  constexpr Oid(uint32_t cls, uint32_t loc) : class_id(cls), local(loc) {}
+
+  constexpr bool IsNull() const { return class_id == 0 && local == 0; }
+
+  friend constexpr bool operator==(const Oid& a, const Oid& b) {
+    return a.class_id == b.class_id && a.local == b.local;
+  }
+  friend constexpr bool operator!=(const Oid& a, const Oid& b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const Oid& a, const Oid& b) {
+    return a.class_id != b.class_id ? a.class_id < b.class_id
+                                    : a.local < b.local;
+  }
+
+  uint64_t Hash() const {
+    return (static_cast<uint64_t>(class_id) << 32) | local;
+  }
+
+  std::string ToString() const {
+    return "#" + std::to_string(class_id) + ":" + std::to_string(local);
+  }
+};
+
+}  // namespace vodak
+
+namespace std {
+template <>
+struct hash<vodak::Oid> {
+  size_t operator()(const vodak::Oid& o) const {
+    return static_cast<size_t>(o.Hash() * 0x9e3779b97f4a7c15ULL);
+  }
+};
+}  // namespace std
+
+#endif  // VODAK_TYPES_OID_H_

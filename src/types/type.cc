@@ -1,0 +1,167 @@
+#include "types/type.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vodak {
+
+TypeRef Type::Void() {
+  static TypeRef t(new Type(TypeKind::kVoid));
+  return t;
+}
+TypeRef Type::Any() {
+  static TypeRef t(new Type(TypeKind::kAny));
+  return t;
+}
+TypeRef Type::Bool() {
+  static TypeRef t(new Type(TypeKind::kBool));
+  return t;
+}
+TypeRef Type::Int() {
+  static TypeRef t(new Type(TypeKind::kInt));
+  return t;
+}
+TypeRef Type::Real() {
+  static TypeRef t(new Type(TypeKind::kReal));
+  return t;
+}
+TypeRef Type::String() {
+  static TypeRef t(new Type(TypeKind::kString));
+  return t;
+}
+
+TypeRef Type::OidOf(std::string class_name) {
+  auto* t = new Type(TypeKind::kOid);
+  t->class_name_ = std::move(class_name);
+  return TypeRef(t);
+}
+
+TypeRef Type::SetOf(TypeRef element) {
+  auto* t = new Type(TypeKind::kSet);
+  t->element_ = std::move(element);
+  return TypeRef(t);
+}
+
+TypeRef Type::ArrayOf(TypeRef element) {
+  auto* t = new Type(TypeKind::kArray);
+  t->element_ = std::move(element);
+  return TypeRef(t);
+}
+
+TypeRef Type::DictOf(TypeRef key, TypeRef value) {
+  auto* t = new Type(TypeKind::kDict);
+  t->key_ = std::move(key);
+  t->element_ = std::move(value);
+  return TypeRef(t);
+}
+
+TypeRef Type::TupleOf(
+    std::vector<std::pair<std::string, TypeRef>> fields) {
+  auto* t = new Type(TypeKind::kTuple);
+  std::sort(fields.begin(), fields.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  t->fields_ = std::move(fields);
+  return TypeRef(t);
+}
+
+bool Type::Equals(const Type& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case TypeKind::kOid:
+      return class_name_ == other.class_name_;
+    case TypeKind::kSet:
+    case TypeKind::kArray:
+      return element_->Equals(*other.element_);
+    case TypeKind::kDict:
+      return key_->Equals(*other.key_) && element_->Equals(*other.element_);
+    case TypeKind::kTuple: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].first != other.fields_[i].first) return false;
+        if (!fields_[i].second->Equals(*other.fields_[i].second))
+          return false;
+      }
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+bool Type::Accepts(const Type& other) const {
+  if (kind_ == TypeKind::kAny || other.kind_ == TypeKind::kAny) return true;
+  if (kind_ != other.kind_) {
+    // INT is acceptable where REAL is expected.
+    if (kind_ == TypeKind::kReal && other.kind_ == TypeKind::kInt)
+      return true;
+    return false;
+  }
+  switch (kind_) {
+    case TypeKind::kOid:
+      return class_name_.empty() || other.class_name_.empty() ||
+             class_name_ == other.class_name_;
+    case TypeKind::kSet:
+    case TypeKind::kArray:
+      return element_->Accepts(*other.element_);
+    case TypeKind::kDict:
+      return key_->Accepts(*other.key_) &&
+             element_->Accepts(*other.element_);
+    case TypeKind::kTuple: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].first != other.fields_[i].first) return false;
+        if (!fields_[i].second->Accepts(*other.fields_[i].second))
+          return false;
+      }
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case TypeKind::kVoid:
+      return "VOID";
+    case TypeKind::kAny:
+      return "ANY";
+    case TypeKind::kBool:
+      return "BOOL";
+    case TypeKind::kInt:
+      return "INT";
+    case TypeKind::kReal:
+      return "REAL";
+    case TypeKind::kString:
+      return "STRING";
+    case TypeKind::kOid:
+      return class_name_.empty() ? "OID" : class_name_;
+    case TypeKind::kSet:
+      return "{" + element_->ToString() + "}";
+    case TypeKind::kArray:
+      return "ARRAY<" + element_->ToString() + ">";
+    case TypeKind::kDict:
+      return "DICTIONARY<" + key_->ToString() + "," +
+             element_->ToString() + ">";
+    case TypeKind::kTuple: {
+      std::string out = "[";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i) out += ", ";
+        out += fields_[i].first + ": " + fields_[i].second->ToString();
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+const TypeRef* Type::FindField(const std::string& name) const {
+  VODAK_DCHECK(kind_ == TypeKind::kTuple);
+  for (const auto& [fname, ftype] : fields_) {
+    if (fname == name) return &ftype;
+  }
+  return nullptr;
+}
+
+}  // namespace vodak

@@ -1,0 +1,36 @@
+#include "vql/ast.h"
+
+namespace vodak {
+namespace vql {
+
+std::string Query::ToString() const {
+  std::string out = "ACCESS " + access->ToString() + "\nFROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i) out += ", ";
+    out += from[i].var + " IN " + from[i].domain->ToString();
+  }
+  if (where != nullptr) {
+    out += "\nWHERE " + where->ToString();
+  }
+  return out;
+}
+
+std::string BoundQuery::ToString() const {
+  std::string out = "ACCESS " + access->ToString() + "\nFROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i) out += ", ";
+    out += from[i].var + " IN ";
+    if (from[i].kind == RangeKind::kExtent) {
+      out += from[i].class_name;
+    } else {
+      out += from[i].domain->ToString();
+    }
+  }
+  if (where != nullptr) {
+    out += "\nWHERE " + where->ToString();
+  }
+  return out;
+}
+
+}  // namespace vql
+}  // namespace vodak

@@ -1,0 +1,66 @@
+#ifndef VODAK_VQL_AST_H_
+#define VODAK_VQL_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/type.h"
+
+namespace vodak {
+namespace vql {
+
+/// One FROM-clause range `var IN domain` (§2.2). The domain is either a
+/// class name (parsed as a variable, classified by the binder) or an
+/// arbitrary set-valued expression over earlier variables — Example 2's
+/// `p IN d→paragraphs()` makes p *dependent* on d.
+struct RangeDecl {
+  std::string var;
+  ExprRef domain;
+};
+
+/// Parsed `ACCESS expr FROM ranges WHERE cond` query. `where` may be null
+/// (no WHERE clause). VQL uses the keyword ACCESS instead of SELECT
+/// because method calls could in principle update state; as in the paper
+/// we restrict optimization to side-effect-free queries.
+struct Query {
+  ExprRef access;
+  std::vector<RangeDecl> from;
+  ExprRef where;  // nullptr when absent
+
+  std::string ToString() const;
+};
+
+/// Range classification produced by the binder.
+enum class RangeKind {
+  kExtent,     ///< domain is a class extent (`p IN Paragraph`)
+  kDependent,  ///< domain is an expression over earlier variables
+};
+
+struct BoundRange {
+  std::string var;
+  RangeKind kind = RangeKind::kExtent;
+  /// Class whose extent is ranged over (kExtent), or the element class
+  /// when the binder can narrow a dependent domain; may be empty.
+  std::string class_name;
+  /// Domain expression (kDependent only).
+  ExprRef domain;
+  /// Element type of the range variable.
+  TypeRef var_type;
+};
+
+/// Binder output: ranges classified and typed, expressions checked
+/// against the catalog.
+struct BoundQuery {
+  ExprRef access;
+  std::vector<BoundRange> from;
+  ExprRef where;  // nullptr when absent
+  TypeRef access_type;
+
+  std::string ToString() const;
+};
+
+}  // namespace vql
+}  // namespace vodak
+
+#endif  // VODAK_VQL_AST_H_

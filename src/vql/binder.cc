@@ -1,0 +1,356 @@
+#include "vql/binder.h"
+
+namespace vodak {
+namespace vql {
+
+namespace {
+
+/// Element type of a set type (Any for untyped sets).
+TypeRef ElementOf(const TypeRef& t) {
+  if (t->kind() == TypeKind::kSet || t->kind() == TypeKind::kArray) {
+    return t->element();
+  }
+  return Type::Any();
+}
+
+}  // namespace
+
+Result<TypeRef> Binder::CheckMethodSig(
+    const ClassDef& cls, const MethodSig& sig,
+    const std::vector<TypeRef>& arg_types,
+    const std::string& context) const {
+  if (sig.params.size() != arg_types.size()) {
+    return Status::TypeError(
+        context + ": method '" + sig.name + "' of class '" + cls.name() +
+        "' expects " + std::to_string(sig.params.size()) +
+        " argument(s), got " + std::to_string(arg_types.size()));
+  }
+  for (size_t i = 0; i < arg_types.size(); ++i) {
+    if (!sig.params[i].second->Accepts(*arg_types[i])) {
+      return Status::TypeError(
+          context + ": argument " + std::to_string(i + 1) + " of '" +
+          sig.name + "' expects " + sig.params[i].second->ToString() +
+          ", got " + arg_types[i]->ToString());
+    }
+  }
+  return sig.return_type;
+}
+
+Result<TypeRef> Binder::InferLifted(
+    const TypeRef& base, const std::string& name, bool is_method,
+    const std::vector<ExprRef>& /*bound_args*/,
+    const std::vector<TypeRef>& arg_types) const {
+  // Access through an object reference.
+  if (base->kind() == TypeKind::kOid) {
+    if (base->class_name().empty()) return Type::Any();
+    const ClassDef* cls = catalog_->FindClass(base->class_name());
+    if (cls == nullptr) {
+      return Status::BindError("unknown class '" + base->class_name() +
+                               "'");
+    }
+    if (is_method) {
+      const MethodSig* sig =
+          cls->FindMethod(name, MethodLevel::kInstance);
+      if (sig == nullptr) {
+        return Status::BindError("class '" + cls->name() +
+                                 "' has no instance method '" + name +
+                                 "'");
+      }
+      return CheckMethodSig(*cls, *sig, arg_types, "call");
+    }
+    const PropertyDef* prop = cls->FindProperty(name);
+    if (prop == nullptr) {
+      return Status::BindError("class '" + cls->name() +
+                               "' has no property '" + name + "'");
+    }
+    return prop->type;
+  }
+  // Tuple field access.
+  if (!is_method && base->kind() == TypeKind::kTuple) {
+    const TypeRef* field = base->FindField(name);
+    if (field == nullptr) {
+      return Status::BindError("tuple type " + base->ToString() +
+                               " has no field '" + name + "'");
+    }
+    return *field;
+  }
+  // Set-lifted access (§2.3: D.sections): result is the union, so a set.
+  if (base->kind() == TypeKind::kSet) {
+    VODAK_ASSIGN_OR_RETURN(
+        TypeRef member,
+        InferLifted(base->element(), name, is_method, {}, arg_types));
+    if (member->kind() == TypeKind::kSet) return member;
+    if (member->kind() == TypeKind::kAny) return Type::SetOf(Type::Any());
+    return Type::SetOf(member);
+  }
+  if (base->kind() == TypeKind::kAny) return Type::Any();
+  return Status::TypeError(std::string(is_method ? "method" : "property") +
+                           " '" + name + "' applied to value of type " +
+                           base->ToString());
+}
+
+Result<ExprRef> Binder::BindExpr(
+    const ExprRef& expr, const std::map<std::string, TypeRef>& scope,
+    TypeRef* out_type) const {
+  switch (expr->kind()) {
+    case ExprKind::kConst:
+      *out_type = expr->value().RuntimeType();
+      return expr;
+    case ExprKind::kVar: {
+      auto it = scope.find(expr->var_name());
+      if (it != scope.end()) {
+        *out_type = it->second;
+        return expr;
+      }
+      return Status::BindError("unbound variable '" + expr->var_name() +
+                               "'");
+    }
+    case ExprKind::kProperty: {
+      TypeRef base_type;
+      VODAK_ASSIGN_OR_RETURN(ExprRef base,
+                             BindExpr(expr->base(), scope, &base_type));
+      VODAK_ASSIGN_OR_RETURN(
+          TypeRef t, InferLifted(base_type, expr->name(), false, {}, {}));
+      *out_type = t;
+      return Expr::Property(std::move(base), expr->name());
+    }
+    case ExprKind::kMethodCall: {
+      // Reclassify `ClassName→m(...)`: the receiver is a variable whose
+      // name is a class and which is not shadowed by a range variable.
+      std::vector<ExprRef> bound_args;
+      std::vector<TypeRef> arg_types;
+      for (const auto& arg : expr->args()) {
+        TypeRef at;
+        VODAK_ASSIGN_OR_RETURN(ExprRef ba, BindExpr(arg, scope, &at));
+        bound_args.push_back(std::move(ba));
+        arg_types.push_back(std::move(at));
+      }
+      if (expr->base()->kind() == ExprKind::kVar &&
+          scope.count(expr->base()->var_name()) == 0) {
+        const std::string& cls_name = expr->base()->var_name();
+        const ClassDef* cls = catalog_->FindClass(cls_name);
+        if (cls == nullptr) {
+          return Status::BindError("unbound variable '" + cls_name + "'");
+        }
+        const MethodSig* sig =
+            cls->FindMethod(expr->method(), MethodLevel::kClassObject);
+        if (sig == nullptr) {
+          return Status::BindError("class object '" + cls_name +
+                                   "' has no method '" + expr->method() +
+                                   "'");
+        }
+        VODAK_ASSIGN_OR_RETURN(
+            TypeRef ret, CheckMethodSig(*cls, *sig, arg_types, "call"));
+        *out_type = ret;
+        return Expr::ClassMethodCall(cls_name, expr->method(),
+                                     std::move(bound_args));
+      }
+      TypeRef base_type;
+      VODAK_ASSIGN_OR_RETURN(ExprRef base,
+                             BindExpr(expr->base(), scope, &base_type));
+      VODAK_ASSIGN_OR_RETURN(
+          TypeRef t, InferLifted(base_type, expr->method(), true,
+                                 bound_args, arg_types));
+      *out_type = t;
+      return Expr::MethodCall(std::move(base), expr->method(),
+                              std::move(bound_args));
+    }
+    case ExprKind::kClassMethodCall: {
+      const ClassDef* cls = catalog_->FindClass(expr->name());
+      if (cls == nullptr) {
+        return Status::BindError("unknown class '" + expr->name() + "'");
+      }
+      const MethodSig* sig =
+          cls->FindMethod(expr->method(), MethodLevel::kClassObject);
+      if (sig == nullptr) {
+        return Status::BindError("class object '" + expr->name() +
+                                 "' has no method '" + expr->method() +
+                                 "'");
+      }
+      std::vector<ExprRef> bound_args;
+      std::vector<TypeRef> arg_types;
+      for (const auto& arg : expr->args()) {
+        TypeRef at;
+        VODAK_ASSIGN_OR_RETURN(ExprRef ba, BindExpr(arg, scope, &at));
+        bound_args.push_back(std::move(ba));
+        arg_types.push_back(std::move(at));
+      }
+      VODAK_ASSIGN_OR_RETURN(
+          TypeRef ret, CheckMethodSig(*cls, *sig, arg_types, "call"));
+      *out_type = ret;
+      return Expr::ClassMethodCall(expr->name(), expr->method(),
+                                   std::move(bound_args));
+    }
+    case ExprKind::kBinary: {
+      TypeRef lt, rt;
+      VODAK_ASSIGN_OR_RETURN(ExprRef lhs, BindExpr(expr->lhs(), scope, &lt));
+      VODAK_ASSIGN_OR_RETURN(ExprRef rhs, BindExpr(expr->rhs(), scope, &rt));
+      BinOp op = expr->bin_op();
+      switch (op) {
+        case BinOp::kAnd:
+        case BinOp::kOr:
+          if (!Type::Bool()->Accepts(*lt) || !Type::Bool()->Accepts(*rt)) {
+            return Status::TypeError(std::string(BinOpName(op)) +
+                                     " requires boolean operands");
+          }
+          *out_type = Type::Bool();
+          break;
+        case BinOp::kIsIn: {
+          if (rt->kind() != TypeKind::kSet &&
+              rt->kind() != TypeKind::kArray &&
+              rt->kind() != TypeKind::kAny) {
+            return Status::TypeError("IS-IN right operand must be a set, "
+                                     "got " + rt->ToString());
+          }
+          *out_type = Type::Bool();
+          break;
+        }
+        case BinOp::kIsSubset:
+          if ((rt->kind() != TypeKind::kSet &&
+               rt->kind() != TypeKind::kAny) ||
+              (lt->kind() != TypeKind::kSet &&
+               lt->kind() != TypeKind::kAny)) {
+            return Status::TypeError("IS-SUBSET requires set operands");
+          }
+          *out_type = Type::Bool();
+          break;
+        case BinOp::kEq:
+        case BinOp::kNe:
+        case BinOp::kLt:
+        case BinOp::kLe:
+        case BinOp::kGt:
+        case BinOp::kGe:
+          *out_type = Type::Bool();
+          break;
+        case BinOp::kAdd:
+        case BinOp::kSub:
+        case BinOp::kMul:
+        case BinOp::kDiv: {
+          if (!(lt->IsNumeric() || lt->kind() == TypeKind::kAny) ||
+              !(rt->IsNumeric() || rt->kind() == TypeKind::kAny)) {
+            return Status::TypeError(std::string(BinOpName(op)) +
+                                     " requires numeric operands");
+          }
+          *out_type = (lt->kind() == TypeKind::kInt &&
+                       rt->kind() == TypeKind::kInt)
+                          ? Type::Int()
+                          : Type::Real();
+          break;
+        }
+        case BinOp::kUnion:
+        case BinOp::kIntersect:
+        case BinOp::kDiff: {
+          if ((lt->kind() != TypeKind::kSet &&
+               lt->kind() != TypeKind::kAny) ||
+              (rt->kind() != TypeKind::kSet &&
+               rt->kind() != TypeKind::kAny)) {
+            return Status::TypeError(std::string(BinOpName(op)) +
+                                     " requires set operands");
+          }
+          *out_type = lt->kind() == TypeKind::kSet ? lt : rt;
+          break;
+        }
+      }
+      return Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    case ExprKind::kUnary: {
+      TypeRef t;
+      VODAK_ASSIGN_OR_RETURN(ExprRef inner,
+                             BindExpr(expr->operand(), scope, &t));
+      if (expr->un_op() == UnOp::kNot) {
+        if (!Type::Bool()->Accepts(*t)) {
+          return Status::TypeError("NOT requires a boolean operand");
+        }
+        *out_type = Type::Bool();
+      } else {
+        if (!(t->IsNumeric() || t->kind() == TypeKind::kAny)) {
+          return Status::TypeError("negation requires a numeric operand");
+        }
+        *out_type = t;
+      }
+      return Expr::Unary(expr->un_op(), std::move(inner));
+    }
+    case ExprKind::kTupleCtor: {
+      std::vector<std::pair<std::string, ExprRef>> fields;
+      std::vector<std::pair<std::string, TypeRef>> field_types;
+      for (const auto& [name, fe] : expr->fields()) {
+        TypeRef ft;
+        VODAK_ASSIGN_OR_RETURN(ExprRef bf, BindExpr(fe, scope, &ft));
+        fields.emplace_back(name, std::move(bf));
+        field_types.emplace_back(name, std::move(ft));
+      }
+      *out_type = Type::TupleOf(std::move(field_types));
+      return Expr::TupleCtor(std::move(fields));
+    }
+    case ExprKind::kSetCtor: {
+      std::vector<ExprRef> elems;
+      TypeRef elem_type = Type::Any();
+      for (const auto& el : expr->args()) {
+        TypeRef et;
+        VODAK_ASSIGN_OR_RETURN(ExprRef be, BindExpr(el, scope, &et));
+        elems.push_back(std::move(be));
+        if (elem_type->kind() == TypeKind::kAny) elem_type = et;
+      }
+      *out_type = Type::SetOf(elem_type);
+      return Expr::SetCtor(std::move(elems));
+    }
+  }
+  return Status::Internal("unreachable expression kind in binder");
+}
+
+Result<BoundQuery> Binder::Bind(
+    const Query& query,
+    const std::map<std::string, TypeRef>& extra_scope) const {
+  BoundQuery bound;
+  std::map<std::string, TypeRef> scope = extra_scope;
+  for (const auto& range : query.from) {
+    if (scope.count(range.var) > 0) {
+      return Status::BindError("duplicate range variable '" + range.var +
+                               "'");
+    }
+    BoundRange br;
+    br.var = range.var;
+    // A bare identifier naming a class is an extent range.
+    if (range.domain->kind() == ExprKind::kVar &&
+        scope.count(range.domain->var_name()) == 0 &&
+        catalog_->FindClass(range.domain->var_name()) != nullptr) {
+      br.kind = RangeKind::kExtent;
+      br.class_name = range.domain->var_name();
+      br.var_type = Type::OidOf(br.class_name);
+    } else {
+      br.kind = RangeKind::kDependent;
+      TypeRef domain_type;
+      VODAK_ASSIGN_OR_RETURN(br.domain,
+                             BindExpr(range.domain, scope, &domain_type));
+      if (domain_type->kind() != TypeKind::kSet &&
+          domain_type->kind() != TypeKind::kAny) {
+        return Status::TypeError("range domain of '" + range.var +
+                                 "' must be a set, got " +
+                                 domain_type->ToString());
+      }
+      br.var_type = domain_type->kind() == TypeKind::kSet
+                        ? domain_type->element()
+                        : Type::Any();
+      if (br.var_type->kind() == TypeKind::kOid) {
+        br.class_name = br.var_type->class_name();
+      }
+    }
+    scope[br.var] = br.var_type;
+    bound.from.push_back(std::move(br));
+  }
+  if (query.where != nullptr) {
+    TypeRef where_type;
+    VODAK_ASSIGN_OR_RETURN(bound.where,
+                           BindExpr(query.where, scope, &where_type));
+    if (!Type::Bool()->Accepts(*where_type)) {
+      return Status::TypeError("WHERE condition must be boolean, got " +
+                               where_type->ToString());
+    }
+  }
+  VODAK_ASSIGN_OR_RETURN(bound.access,
+                         BindExpr(query.access, scope, &bound.access_type));
+  return bound;
+}
+
+}  // namespace vql
+}  // namespace vodak

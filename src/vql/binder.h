@@ -1,0 +1,55 @@
+#ifndef VODAK_VQL_BINDER_H_
+#define VODAK_VQL_BINDER_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "schema/catalog.h"
+#include "vql/ast.h"
+
+namespace vodak {
+namespace vql {
+
+/// Name resolution and type checking against the schema catalog.
+///
+/// The binder
+///  - classifies FROM ranges as class extents or dependent domains,
+///  - reclassifies `ClassName→m(...)` parses (method call on a variable
+///    named like a class) into class-object method calls,
+///  - infers a type for every expression, validating property and method
+///    references and argument arity/types against the catalog.
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// `extra_scope` pre-binds free variables (used by the knowledge
+  /// front end to bind equivalence parameters like the `s` of E2/E5).
+  Result<BoundQuery> Bind(
+      const Query& query,
+      const std::map<std::string, TypeRef>& extra_scope = {}) const;
+
+  /// Binds a standalone expression in a given variable scope. On success
+  /// `*out_type` carries the inferred type. Used by the knowledge-
+  /// specification front end (§4.2) to validate equivalences.
+  Result<ExprRef> BindExpr(const ExprRef& expr,
+                           const std::map<std::string, TypeRef>& scope,
+                           TypeRef* out_type) const;
+
+ private:
+  Result<TypeRef> InferLifted(const TypeRef& base, const std::string& name,
+                              bool is_method,
+                              const std::vector<ExprRef>& bound_args,
+                              const std::vector<TypeRef>& arg_types) const;
+
+  Result<TypeRef> CheckMethodSig(const ClassDef& cls, const MethodSig& sig,
+                                 const std::vector<TypeRef>& arg_types,
+                                 const std::string& context) const;
+
+  const Catalog* catalog_;
+};
+
+}  // namespace vql
+}  // namespace vodak
+
+#endif  // VODAK_VQL_BINDER_H_

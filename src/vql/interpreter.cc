@@ -1,0 +1,60 @@
+#include "vql/interpreter.h"
+
+namespace vodak {
+namespace vql {
+
+Status Interpreter::RunRanges(const BoundQuery& query, size_t index,
+                              Env* env, std::vector<Value>* out) const {
+  if (index == query.from.size()) {
+    if (query.where != nullptr) {
+      auto pred = evaluator_.EvalPredicate(query.where, *env);
+      if (!pred.ok()) return pred.status();
+      if (!pred.value()) return Status::OK();
+    }
+    auto value = evaluator_.Eval(query.access, *env);
+    if (!value.ok()) return value.status();
+    out->push_back(std::move(value).value());
+    return Status::OK();
+  }
+
+  const BoundRange& range = query.from[index];
+  if (range.kind == RangeKind::kExtent) {
+    const ClassDef* cls = evaluator_.catalog()->FindClass(range.class_name);
+    if (cls == nullptr) {
+      return Status::BindError("unknown class '" + range.class_name + "'");
+    }
+    auto extent = evaluator_.store()->Extent(cls->class_id());
+    if (!extent.ok()) return extent.status();
+    for (Oid oid : extent.value()) {
+      (*env)[range.var] = Value::OfOid(oid);
+      VODAK_RETURN_IF_ERROR(RunRanges(query, index + 1, env, out));
+    }
+    env->erase(range.var);
+    return Status::OK();
+  }
+
+  auto domain = evaluator_.Eval(range.domain, *env);
+  if (!domain.ok()) return domain.status();
+  if (domain.value().is_null()) return Status::OK();
+  if (!domain.value().is_set()) {
+    return Status::ExecError("range domain of '" + range.var +
+                             "' evaluated to non-set " +
+                             domain.value().ToString());
+  }
+  for (const Value& member : domain.value().AsSet()) {
+    (*env)[range.var] = member;
+    VODAK_RETURN_IF_ERROR(RunRanges(query, index + 1, env, out));
+  }
+  env->erase(range.var);
+  return Status::OK();
+}
+
+Result<Value> Interpreter::Run(const BoundQuery& query) const {
+  std::vector<Value> results;
+  Env env;
+  VODAK_RETURN_IF_ERROR(RunRanges(query, 0, &env, &results));
+  return Value::Set(std::move(results));
+}
+
+}  // namespace vql
+}  // namespace vodak

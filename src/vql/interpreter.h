@@ -1,0 +1,40 @@
+#ifndef VODAK_VQL_INTERPRETER_H_
+#define VODAK_VQL_INTERPRETER_H_
+
+#include "common/result.h"
+#include "expr/expr_eval.h"
+#include "vql/ast.h"
+
+namespace vodak {
+namespace vql {
+
+/// Reference evaluator (DESIGN.md S9): straightforward nested-loop
+/// evaluation of a bound query, no optimization whatsoever. Ranges are
+/// iterated left to right so dependent ranges see earlier bindings.
+///
+/// The interpreter defines the *meaning* of a VQL query; every optimized
+/// plan must return exactly the set this returns. The integration and
+/// property test suites enforce that.
+class Interpreter {
+ public:
+  Interpreter(const Catalog* catalog, ObjectStore* store,
+              MethodRegistry* methods)
+      : evaluator_(catalog, store, methods) {}
+
+  /// Runs the query; the result is a SET of access-expression values
+  /// (VQL results have set semantics like the §4.1 algebra).
+  Result<Value> Run(const BoundQuery& query) const;
+
+  const ExprEvaluator& evaluator() const { return evaluator_; }
+
+ private:
+  Status RunRanges(const BoundQuery& query, size_t index, Env* env,
+                   std::vector<Value>* out) const;
+
+  ExprEvaluator evaluator_;
+};
+
+}  // namespace vql
+}  // namespace vodak
+
+#endif  // VODAK_VQL_INTERPRETER_H_

@@ -1,0 +1,75 @@
+#ifndef VODAK_VQL_LEXER_H_
+#define VODAK_VQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vodak {
+namespace vql {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,
+  kString,   ///< 'single quoted'
+  kInt,
+  kReal,
+  // Keywords.
+  kAccess,
+  kFrom,
+  kWhere,
+  kIn,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  kNil,
+  kIsIn,
+  kIsSubset,
+  kUnion,
+  kIntersection,
+  kDifference,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kColon,
+  kDot,
+  kArrow,  ///< ->
+  kEqEq,
+  kNotEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< identifier or string payload
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  size_t offset = 0;    ///< byte offset in the source (for diagnostics)
+};
+
+/// Tokenizes VQL source. `IS-IN` and `IS-SUBSET` are single tokens, the
+/// method arrow is `->` (the paper's →).
+Result<std::vector<Token>> Lex(const std::string& source);
+
+/// Token name for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace vql
+}  // namespace vodak
+
+#endif  // VODAK_VQL_LEXER_H_

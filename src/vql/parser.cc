@@ -1,0 +1,331 @@
+#include "vql/parser.h"
+
+#include "vql/lexer.h"
+
+namespace vodak {
+namespace vql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Grammar (§2.2):
+///
+///   query    := ACCESS expr FROM range (',' range)* (WHERE expr)?
+///   range    := IDENT IN expr
+///   expr     := or
+///   or       := and (OR and)*
+///   and      := not (AND not)*
+///   not      := NOT not | cmp
+///   cmp      := setop ((== != < <= > >= IS-IN IS-SUBSET) setop)?
+///   setop    := add ((UNION INTERSECTION DIFFERENCE) add)*
+///   add      := mul (('+'|'-') mul)*
+///   mul      := unary (('*'|'/') unary)*
+///   unary    := '-' unary | postfix
+///   postfix  := primary (('.' IDENT) | ('->' IDENT '(' args ')'))*
+///   primary  := literal | IDENT | '(' expr ')'
+///             | '[' IDENT ':' expr (',' IDENT ':' expr)* ']'
+///             | '{' (expr (',' expr)*)? '}'
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery() {
+    VODAK_RETURN_IF_ERROR(Expect(TokenKind::kAccess));
+    Query query;
+    VODAK_ASSIGN_OR_RETURN(query.access, ParseExpr());
+    VODAK_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
+    for (;;) {
+      RangeDecl range;
+      VODAK_ASSIGN_OR_RETURN(range.var, ExpectIdent());
+      VODAK_RETURN_IF_ERROR(Expect(TokenKind::kIn));
+      VODAK_ASSIGN_OR_RETURN(range.domain, ParseExpr());
+      query.from.push_back(std::move(range));
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    if (Accept(TokenKind::kWhere)) {
+      VODAK_ASSIGN_OR_RETURN(query.where, ParseExpr());
+    }
+    VODAK_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return query;
+  }
+
+  Result<ExprRef> ParseStandaloneExpr() {
+    VODAK_ASSIGN_OR_RETURN(ExprRef e, ParseExpr());
+    VODAK_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Status::ParseError(
+          std::string("expected ") + TokenKindName(kind) + " but found " +
+          TokenKindName(Peek().kind) + " at offset " +
+          std::to_string(Peek().offset));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::ParseError("expected identifier but found " +
+                                std::string(TokenKindName(Peek().kind)) +
+                                " at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  Result<ExprRef> ParseExpr() { return ParseOr(); }
+
+  Result<ExprRef> ParseOr() {
+    VODAK_ASSIGN_OR_RETURN(ExprRef lhs, ParseAnd());
+    while (Accept(TokenKind::kOr)) {
+      VODAK_ASSIGN_OR_RETURN(ExprRef rhs, ParseAnd());
+      lhs = Expr::Binary(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprRef> ParseAnd() {
+    VODAK_ASSIGN_OR_RETURN(ExprRef lhs, ParseNot());
+    while (Accept(TokenKind::kAnd)) {
+      VODAK_ASSIGN_OR_RETURN(ExprRef rhs, ParseNot());
+      lhs = Expr::Binary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprRef> ParseNot() {
+    if (Accept(TokenKind::kNot)) {
+      VODAK_ASSIGN_OR_RETURN(ExprRef inner, ParseNot());
+      return Expr::Unary(UnOp::kNot, std::move(inner));
+    }
+    return ParseCmp();
+  }
+
+  Result<ExprRef> ParseCmp() {
+    VODAK_ASSIGN_OR_RETURN(ExprRef lhs, ParseSetOp());
+    BinOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEqEq:
+        op = BinOp::kEq;
+        break;
+      case TokenKind::kNotEq:
+        op = BinOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = BinOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = BinOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = BinOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = BinOp::kGe;
+        break;
+      case TokenKind::kIsIn:
+        op = BinOp::kIsIn;
+        break;
+      case TokenKind::kIsSubset:
+        op = BinOp::kIsSubset;
+        break;
+      default:
+        return lhs;
+    }
+    Advance();
+    VODAK_ASSIGN_OR_RETURN(ExprRef rhs, ParseSetOp());
+    return Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprRef> ParseSetOp() {
+    VODAK_ASSIGN_OR_RETURN(ExprRef lhs, ParseAdd());
+    for (;;) {
+      BinOp op;
+      if (Peek().kind == TokenKind::kUnion) {
+        op = BinOp::kUnion;
+      } else if (Peek().kind == TokenKind::kIntersection) {
+        op = BinOp::kIntersect;
+      } else if (Peek().kind == TokenKind::kDifference) {
+        op = BinOp::kDiff;
+      } else {
+        return lhs;
+      }
+      Advance();
+      VODAK_ASSIGN_OR_RETURN(ExprRef rhs, ParseAdd());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprRef> ParseAdd() {
+    VODAK_ASSIGN_OR_RETURN(ExprRef lhs, ParseMul());
+    for (;;) {
+      BinOp op;
+      if (Peek().kind == TokenKind::kPlus) {
+        op = BinOp::kAdd;
+      } else if (Peek().kind == TokenKind::kMinus) {
+        op = BinOp::kSub;
+      } else {
+        return lhs;
+      }
+      Advance();
+      VODAK_ASSIGN_OR_RETURN(ExprRef rhs, ParseMul());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprRef> ParseMul() {
+    VODAK_ASSIGN_OR_RETURN(ExprRef lhs, ParseUnary());
+    for (;;) {
+      BinOp op;
+      if (Peek().kind == TokenKind::kStar) {
+        op = BinOp::kMul;
+      } else if (Peek().kind == TokenKind::kSlash) {
+        op = BinOp::kDiv;
+      } else {
+        return lhs;
+      }
+      Advance();
+      VODAK_ASSIGN_OR_RETURN(ExprRef rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprRef> ParseUnary() {
+    if (Accept(TokenKind::kMinus)) {
+      VODAK_ASSIGN_OR_RETURN(ExprRef inner, ParseUnary());
+      return Expr::Unary(UnOp::kNeg, std::move(inner));
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprRef> ParsePostfix() {
+    VODAK_ASSIGN_OR_RETURN(ExprRef e, ParsePrimary());
+    for (;;) {
+      if (Accept(TokenKind::kDot)) {
+        VODAK_ASSIGN_OR_RETURN(std::string prop, ExpectIdent());
+        e = Expr::Property(std::move(e), std::move(prop));
+        continue;
+      }
+      if (Accept(TokenKind::kArrow)) {
+        VODAK_ASSIGN_OR_RETURN(std::string method, ExpectIdent());
+        VODAK_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+        std::vector<ExprRef> args;
+        if (Peek().kind != TokenKind::kRParen) {
+          for (;;) {
+            VODAK_ASSIGN_OR_RETURN(ExprRef arg, ParseExpr());
+            args.push_back(std::move(arg));
+            if (!Accept(TokenKind::kComma)) break;
+          }
+        }
+        VODAK_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        // Class-object calls (`Document→select_by_index`) are still
+        // kMethodCall on a Var here; the binder reclassifies them.
+        e = Expr::MethodCall(std::move(e), std::move(method),
+                             std::move(args));
+        continue;
+      }
+      return e;
+    }
+  }
+
+  Result<ExprRef> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt: {
+        int64_t v = Advance().int_value;
+        return Expr::Const(Value::Int(v));
+      }
+      case TokenKind::kReal: {
+        double v = Advance().real_value;
+        return Expr::Const(Value::Real(v));
+      }
+      case TokenKind::kString: {
+        std::string s = Advance().text;
+        return Expr::Const(Value::String(std::move(s)));
+      }
+      case TokenKind::kTrue:
+        Advance();
+        return Expr::Const(Value::Bool(true));
+      case TokenKind::kFalse:
+        Advance();
+        return Expr::Const(Value::Bool(false));
+      case TokenKind::kNil:
+        Advance();
+        return Expr::Const(Value::Null());
+      case TokenKind::kIdent:
+        return Expr::Var(Advance().text);
+      case TokenKind::kLParen: {
+        Advance();
+        VODAK_ASSIGN_OR_RETURN(ExprRef e, ParseExpr());
+        VODAK_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return e;
+      }
+      case TokenKind::kLBracket: {
+        Advance();
+        std::vector<std::pair<std::string, ExprRef>> fields;
+        if (Peek().kind != TokenKind::kRBracket) {
+          for (;;) {
+            VODAK_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+            VODAK_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+            VODAK_ASSIGN_OR_RETURN(ExprRef fe, ParseExpr());
+            fields.emplace_back(std::move(name), std::move(fe));
+            if (!Accept(TokenKind::kComma)) break;
+          }
+        }
+        VODAK_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+        return Expr::TupleCtor(std::move(fields));
+      }
+      case TokenKind::kLBrace: {
+        Advance();
+        std::vector<ExprRef> elems;
+        if (Peek().kind != TokenKind::kRBrace) {
+          for (;;) {
+            VODAK_ASSIGN_OR_RETURN(ExprRef el, ParseExpr());
+            elems.push_back(std::move(el));
+            if (!Accept(TokenKind::kComma)) break;
+          }
+        }
+        VODAK_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+        return Expr::SetCtor(std::move(elems));
+      }
+      default:
+        return Status::ParseError(
+            std::string("unexpected token ") + TokenKindName(t.kind) +
+            " at offset " + std::to_string(t.offset));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& source) {
+  VODAK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<ExprRef> ParseExpr(const std::string& source) {
+  VODAK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpr();
+}
+
+}  // namespace vql
+}  // namespace vodak

@@ -1,0 +1,22 @@
+#ifndef VODAK_VQL_PARSER_H_
+#define VODAK_VQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "vql/ast.h"
+
+namespace vodak {
+namespace vql {
+
+/// Parses a full `ACCESS … FROM … [WHERE …]` query.
+Result<Query> ParseQuery(const std::string& source);
+
+/// Parses a standalone expression (used by the knowledge-specification
+/// API to accept equivalences in VQL surface syntax, §4.2).
+Result<ExprRef> ParseExpr(const std::string& source);
+
+}  // namespace vql
+}  // namespace vodak
+
+#endif  // VODAK_VQL_PARSER_H_

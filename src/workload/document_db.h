@@ -1,0 +1,111 @@
+#ifndef VODAK_WORKLOAD_DOCUMENT_DB_H_
+#define VODAK_WORKLOAD_DOCUMENT_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "extindex/inverted_index.h"
+#include "methods/method_registry.h"
+#include "objstore/object_store.h"
+#include "schema/catalog.h"
+
+namespace vodak {
+namespace workload {
+
+/// Size and shape of the synthetic corpus. Defaults give a small corpus
+/// suitable for unit tests; benchmarks scale num_documents up.
+struct CorpusParams {
+  uint32_t num_documents = 20;
+  uint32_t sections_per_document = 3;
+  uint32_t paragraphs_per_section = 4;
+  /// Vocabulary of synthetic terms term0000..term<N-1>.
+  uint32_t vocabulary_size = 500;
+  /// Zipf skew of term frequencies (0 = uniform).
+  double zipf_theta = 0.9;
+  /// Words per paragraph body.
+  uint32_t words_per_paragraph = 30;
+  /// Fraction of paragraphs additionally containing the marker word
+  /// "implementation" (the Example 4 search term).
+  double implementation_fraction = 0.1;
+  /// Paragraphs with wordCount() > large_paragraph_threshold are recorded
+  /// in Document.largeParagraphs (the §4.2 implication example). The
+  /// generator gives this fraction of paragraphs an extended body.
+  uint32_t large_paragraph_threshold = 100;
+  double large_paragraph_fraction = 0.15;
+  uint64_t seed = 4711;
+};
+
+/// The paper's §2.1 example database: classes Document, Section and
+/// Paragraph with exactly the properties and methods of the paper
+/// (plus Document.largeParagraphs / Paragraph::wordCount() from the §4.2
+/// implication example), the external IR index behind
+/// `Paragraph→retrieve_by_string`, and the user-defined title index
+/// behind `Document→select_by_index`.
+///
+/// Method inventory and their implementation categories (§2.1):
+///  - Document→select_by_index(t)      class-object, external (index)
+///  - Document::paragraphs()           instance, internal encoding
+///  - Paragraph→retrieve_by_string(s)  class-object, external (IR)
+///  - Paragraph::document()            instance, path method
+///  - Paragraph::contains_string(s)    instance, external (IR predicate)
+///  - Paragraph::sameDocument(p)       instance, internal, parameterized
+///  - Paragraph::wordCount()           instance, internal (derived data)
+class DocumentDb {
+ public:
+  DocumentDb();
+  DocumentDb(const DocumentDb&) = delete;
+  DocumentDb& operator=(const DocumentDb&) = delete;
+
+  /// Defines the schema and registers all method implementations.
+  /// Must be called exactly once before Populate().
+  Status Init();
+
+  /// Generates and loads a deterministic synthetic corpus, builds the two
+  /// external indexes and precomputes largeParagraphs.
+  Status Populate(const CorpusParams& params);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  ObjectStore& store() { return store_; }
+  MethodRegistry& methods() { return methods_; }
+  const MethodRegistry& methods() const { return methods_; }
+  InvertedTextIndex& paragraph_index() { return paragraph_index_; }
+  OrderedAttributeIndex& title_index() { return title_index_; }
+
+  uint32_t document_class_id() const { return document_class_id_; }
+  uint32_t section_class_id() const { return section_class_id_; }
+  uint32_t paragraph_class_id() const { return paragraph_class_id_; }
+
+  const CorpusParams& params() const { return params_; }
+
+  /// The title given to document #0 so tests and benches can target it
+  /// ("Query Optimization", after Example 4).
+  static const char* kSpecialTitle;
+  /// The marker search word ("implementation").
+  static const char* kSearchWord;
+
+  /// Resets all measurement counters (store stats, method invocation
+  /// counts, index counters).
+  void ResetCounters();
+
+ private:
+  Status DefineSchema();
+  Status RegisterMethods();
+
+  Catalog catalog_;
+  ObjectStore store_;
+  MethodRegistry methods_;
+  InvertedTextIndex paragraph_index_;
+  OrderedAttributeIndex title_index_;
+  CorpusParams params_;
+  uint32_t document_class_id_ = 0;
+  uint32_t section_class_id_ = 0;
+  uint32_t paragraph_class_id_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace workload
+}  // namespace vodak
+
+#endif  // VODAK_WORKLOAD_DOCUMENT_DB_H_

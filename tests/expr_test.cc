@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+#include "expr/expr_eval.h"
+#include "workload/document_db.h"
+
+namespace vodak {
+namespace {
+
+TEST(ExprTest, ToStringRendering) {
+  ExprRef e = Expr::Binary(
+      BinOp::kEq,
+      Expr::Property(Expr::Property(Expr::Var("p"), "section"), "document"),
+      Expr::Var("d"));
+  EXPECT_EQ(e->ToString(), "(p.section.document == d)");
+
+  ExprRef m = Expr::MethodCall(Expr::Var("p"), "sameDocument",
+                               {Expr::Var("q")});
+  EXPECT_EQ(m->ToString(), "p->sameDocument(q)");
+
+  ExprRef c = Expr::ClassMethodCall(
+      "Document", "select_by_index",
+      {Expr::Const(Value::String("Query Optimization"))});
+  EXPECT_EQ(c->ToString(),
+            "Document->select_by_index('Query Optimization')");
+}
+
+TEST(ExprTest, StructuralEqualityAndHash) {
+  ExprRef a = Expr::Path("p", {"section", "document"});
+  ExprRef b = Expr::Path("p", {"section", "document"});
+  ExprRef c = Expr::Path("p", {"section", "title"});
+  EXPECT_TRUE(Expr::Equals(a, b));
+  EXPECT_FALSE(Expr::Equals(a, c));
+  EXPECT_EQ(a->Hash(), b->Hash());
+  EXPECT_NE(a->Hash(), c->Hash());
+}
+
+TEST(ExprTest, ClassMethodEqualityIncludesMethodName) {
+  ExprRef a = Expr::ClassMethodCall("C", "m1", {});
+  ExprRef b = Expr::ClassMethodCall("C", "m2", {});
+  ExprRef c = Expr::ClassMethodCall("C", "m1", {});
+  EXPECT_FALSE(Expr::Equals(a, b));
+  EXPECT_TRUE(Expr::Equals(a, c));
+}
+
+TEST(ExprTest, FreeVarsInOrder) {
+  ExprRef e = Expr::Binary(
+      BinOp::kAnd,
+      Expr::MethodCall(Expr::Var("p"), "sameDocument", {Expr::Var("q")}),
+      Expr::Binary(BinOp::kEq, Expr::Property(Expr::Var("p"), "number"),
+                   Expr::Const(Value::Int(1))));
+  EXPECT_EQ(e->FreeVars(), (std::vector<std::string>{"p", "q"}));
+  EXPECT_TRUE(e->UsesVar("p"));
+  EXPECT_FALSE(e->UsesVar("d"));
+}
+
+TEST(ExprTest, ClassMethodCallHasNoReceiverVar) {
+  ExprRef e = Expr::ClassMethodCall("Document", "select_by_index",
+                                    {Expr::Var("s")});
+  EXPECT_EQ(e->FreeVars(), std::vector<std::string>{"s"});
+}
+
+TEST(ExprTest, SubstituteVar) {
+  ExprRef e = Expr::Binary(BinOp::kIsIn, Expr::Var("x"),
+                           Expr::Property(Expr::Var("D"), "sections"));
+  ExprRef sub = Expr::SubstituteVar(
+      e, "x", Expr::Property(Expr::Var("p"), "section"));
+  EXPECT_EQ(sub->ToString(), "(p.section IS-IN D.sections)");
+  // Original untouched (immutability).
+  EXPECT_EQ(e->ToString(), "(x IS-IN D.sections)");
+}
+
+TEST(ExprTest, SimultaneousSubstitution) {
+  ExprRef e = Expr::Binary(BinOp::kEq, Expr::Var("a"), Expr::Var("b"));
+  ExprRef sub = Expr::SubstituteVars(
+      e, {{"a", Expr::Var("b")}, {"b", Expr::Var("a")}});
+  EXPECT_EQ(sub->ToString(), "(b == a)");
+}
+
+TEST(ExprTest, PathDecomposition) {
+  ExprRef e = Expr::Path("p", {"section", "document"});
+  ASSERT_TRUE(e->IsPath());
+  std::string var;
+  std::vector<std::string> props;
+  e->DecomposePath(&var, &props);
+  EXPECT_EQ(var, "p");
+  EXPECT_EQ(props, (std::vector<std::string>{"section", "document"}));
+  EXPECT_FALSE(Expr::MethodCall(Expr::Var("p"), "m", {})->IsPath());
+}
+
+TEST(ExprTest, OperatorPredicates) {
+  EXPECT_TRUE(IsComparisonOp(BinOp::kIsIn));
+  EXPECT_TRUE(IsComparisonOp(BinOp::kEq));
+  EXPECT_FALSE(IsComparisonOp(BinOp::kAnd));
+  EXPECT_FALSE(IsComparisonOp(BinOp::kUnion));
+  EXPECT_TRUE(IsSetOp(BinOp::kIntersect));
+  EXPECT_FALSE(IsSetOp(BinOp::kLt));
+}
+
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Init().ok());
+    workload::CorpusParams params;
+    params.num_documents = 4;
+    params.sections_per_document = 2;
+    params.paragraphs_per_section = 2;
+    ASSERT_TRUE(db_.Populate(params).ok());
+    eval_ = std::make_unique<ExprEvaluator>(&db_.catalog(), &db_.store(),
+                                            &db_.methods());
+  }
+
+  workload::DocumentDb db_;
+  std::unique_ptr<ExprEvaluator> eval_;
+};
+
+TEST_F(ExprEvalTest, ArithmeticAndComparison) {
+  Env env;
+  ExprRef e = Expr::Binary(BinOp::kAdd, Expr::Const(Value::Int(2)),
+                           Expr::Const(Value::Int(3)));
+  EXPECT_EQ(eval_->Eval(e, env).value(), Value::Int(5));
+
+  e = Expr::Binary(BinOp::kMul, Expr::Const(Value::Int(2)),
+                   Expr::Const(Value::Real(1.5)));
+  EXPECT_EQ(eval_->Eval(e, env).value(), Value::Real(3.0));
+
+  e = Expr::Binary(BinOp::kLt, Expr::Const(Value::Int(1)),
+                   Expr::Const(Value::Real(1.5)));
+  EXPECT_TRUE(eval_->Eval(e, env).value().AsBool());
+
+  e = Expr::Binary(BinOp::kDiv, Expr::Const(Value::Int(1)),
+                   Expr::Const(Value::Int(0)));
+  EXPECT_FALSE(eval_->Eval(e, env).ok());
+}
+
+TEST_F(ExprEvalTest, ShortCircuit) {
+  Env env;
+  // FALSE AND <error> must not evaluate the error side.
+  ExprRef bad = Expr::Binary(BinOp::kDiv, Expr::Const(Value::Int(1)),
+                             Expr::Const(Value::Int(0)));
+  ExprRef is_pos = Expr::Binary(BinOp::kGt, bad, Expr::Const(Value::Int(0)));
+  ExprRef e = Expr::Binary(BinOp::kAnd, Expr::Const(Value::Bool(false)),
+                           is_pos);
+  ASSERT_TRUE(eval_->Eval(e, env).ok());
+  EXPECT_FALSE(eval_->Eval(e, env).value().AsBool());
+
+  e = Expr::Binary(BinOp::kOr, Expr::Const(Value::Bool(true)), is_pos);
+  ASSERT_TRUE(eval_->Eval(e, env).ok());
+  EXPECT_TRUE(eval_->Eval(e, env).value().AsBool());
+}
+
+TEST_F(ExprEvalTest, PropertyAndPathAccess) {
+  Oid doc = db_.store().Extent(db_.document_class_id()).value()[0];
+  Env env{{"d", Value::OfOid(doc)}};
+  ExprRef e = Expr::Property(Expr::Var("d"), "title");
+  EXPECT_EQ(eval_->Eval(e, env).value(),
+            Value::String(workload::DocumentDb::kSpecialTitle));
+
+  Oid par = db_.store().Extent(db_.paragraph_class_id()).value()[0];
+  env["p"] = Value::OfOid(par);
+  ExprRef path = Expr::Path("p", {"section", "document", "title"});
+  EXPECT_TRUE(eval_->Eval(path, env).value().is_string());
+}
+
+TEST_F(ExprEvalTest, SetLiftedPropertyAccess) {
+  // D.sections for a set D of documents = union of sections (§2.3).
+  auto docs = db_.store().Extent(db_.document_class_id()).value();
+  Env env{{"D", MakeOidSet(docs)}};
+  ExprRef e = Expr::Property(Expr::Var("D"), "sections");
+  Value sections = eval_->Eval(e, env).value();
+  ASSERT_TRUE(sections.is_set());
+  EXPECT_EQ(sections.AsSet().size(), 4u * 2u);
+
+  // Chained: D.sections.paragraphs.
+  ExprRef e2 = Expr::Property(e, "paragraphs");
+  Value paragraphs = eval_->Eval(e2, env).value();
+  EXPECT_EQ(paragraphs.AsSet().size(), 4u * 2u * 2u);
+}
+
+TEST_F(ExprEvalTest, MethodCallAndIsIn) {
+  Oid par = db_.store().Extent(db_.paragraph_class_id()).value()[0];
+  Env env{{"p", Value::OfOid(par)}};
+  ExprRef doc_of_p = Expr::MethodCall(Expr::Var("p"), "document", {});
+  Value d = eval_->Eval(doc_of_p, env).value();
+  ASSERT_TRUE(d.is_oid());
+
+  ExprRef contains = Expr::Binary(
+      BinOp::kIsIn, doc_of_p,
+      Expr::ClassMethodCall(
+          "Document", "select_by_index",
+          {Expr::Const(Value::String(workload::DocumentDb::kSpecialTitle))}));
+  Value hit = eval_->Eval(contains, env).value();
+  // First paragraph belongs to document 0, which has the special title.
+  EXPECT_TRUE(hit.AsBool());
+}
+
+TEST_F(ExprEvalTest, TupleAndSetConstructors) {
+  Env env;
+  ExprRef e = Expr::TupleCtor({{"a", Expr::Const(Value::Int(1))},
+                               {"b", Expr::Const(Value::String("x"))}});
+  Value t = eval_->Eval(e, env).value();
+  EXPECT_EQ(t.GetField("a").value(), Value::Int(1));
+
+  ExprRef s = Expr::SetCtor({Expr::Const(Value::Int(2)),
+                             Expr::Const(Value::Int(2)),
+                             Expr::Const(Value::Int(1))});
+  EXPECT_EQ(eval_->Eval(s, env).value(),
+            Value::Set({Value::Int(1), Value::Int(2)}));
+}
+
+TEST_F(ExprEvalTest, SetAlgebraOperators) {
+  Env env{{"A", Value::Set({Value::Int(1), Value::Int(2)})},
+          {"B", Value::Set({Value::Int(2), Value::Int(3)})}};
+  EXPECT_EQ(eval_->Eval(Expr::Binary(BinOp::kIntersect, Expr::Var("A"),
+                                     Expr::Var("B")),
+                        env)
+                .value(),
+            Value::Set({Value::Int(2)}));
+  EXPECT_EQ(eval_->Eval(Expr::Binary(BinOp::kUnion, Expr::Var("A"),
+                                     Expr::Var("B")),
+                        env)
+                .value()
+                .AsSet()
+                .size(),
+            3u);
+  EXPECT_TRUE(eval_->Eval(Expr::Binary(BinOp::kIsSubset,
+                                       Expr::SetCtor({Expr::Const(
+                                           Value::Int(1))}),
+                                       Expr::Var("A")),
+                          env)
+                  .value()
+                  .AsBool());
+}
+
+TEST_F(ExprEvalTest, NullPropagation) {
+  Env env{{"x", Value::Null()}};
+  ExprRef e = Expr::Property(Expr::Var("x"), "title");
+  EXPECT_TRUE(eval_->Eval(e, env).value().is_null());
+  ExprRef m = Expr::MethodCall(Expr::Var("x"), "document", {});
+  EXPECT_TRUE(eval_->Eval(m, env).value().is_null());
+  // IS-IN NIL is FALSE, not an error.
+  ExprRef in = Expr::Binary(BinOp::kIsIn, Expr::Const(Value::Int(1)),
+                            Expr::Var("x"));
+  EXPECT_FALSE(eval_->Eval(in, env).value().AsBool());
+}
+
+TEST_F(ExprEvalTest, UnboundVariableIsError) {
+  Env env;
+  EXPECT_FALSE(eval_->Eval(Expr::Var("ghost"), env).ok());
+}
+
+TEST_F(ExprEvalTest, PredicateRequiresBoolean) {
+  Env env;
+  EXPECT_FALSE(
+      eval_->EvalPredicate(Expr::Const(Value::Int(1)), env).ok());
+  EXPECT_TRUE(
+      eval_->EvalPredicate(Expr::Const(Value::Null()), env).ok());
+  EXPECT_FALSE(
+      eval_->EvalPredicate(Expr::Const(Value::Null()), env).value());
+}
+
+}  // namespace
+}  // namespace vodak

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "extindex/inverted_index.h"
+
+namespace vodak {
+namespace {
+
+TEST(InvertedIndexTest, SingleTermSearch) {
+  InvertedTextIndex index;
+  index.Add(Oid(1, 1), "the quick brown fox");
+  index.Add(Oid(1, 2), "the lazy dog");
+  EXPECT_EQ(index.Search("quick"), std::vector<Oid>{Oid(1, 1)});
+  EXPECT_EQ(index.Search("the").size(), 2u);
+  EXPECT_TRUE(index.Search("cat").empty());
+}
+
+TEST(InvertedIndexTest, MultiTermIsConjunctive) {
+  InvertedTextIndex index;
+  index.Add(Oid(1, 1), "query optimization for methods");
+  index.Add(Oid(1, 2), "query evaluation");
+  index.Add(Oid(1, 3), "optimization of loops");
+  EXPECT_EQ(index.Search("query optimization"),
+            std::vector<Oid>{Oid(1, 1)});
+}
+
+TEST(InvertedIndexTest, CaseAndPunctuationInsensitive) {
+  InvertedTextIndex index;
+  index.Add(Oid(1, 1), "Implementation, details!");
+  EXPECT_EQ(index.Search("implementation").size(), 1u);
+  EXPECT_EQ(index.Search("IMPLEMENTATION").size(), 1u);
+}
+
+TEST(InvertedIndexTest, EmptyQueryFindsNothing) {
+  InvertedTextIndex index;
+  index.Add(Oid(1, 1), "something");
+  EXPECT_TRUE(index.Search("").empty());
+  EXPECT_TRUE(index.Search("  ,;  ").empty());
+}
+
+TEST(InvertedIndexTest, MatchesTextAgreesWithSearch) {
+  // The E5 exactness contract: Search(q) == {o | MatchesText(text(o), q)}.
+  std::vector<std::pair<Oid, std::string>> corpus = {
+      {Oid(1, 1), "alpha beta gamma"},
+      {Oid(1, 2), "beta delta"},
+      {Oid(1, 3), "alpha delta epsilon"},
+      {Oid(1, 4), ""},
+  };
+  InvertedTextIndex index;
+  for (const auto& [oid, text] : corpus) index.Add(oid, text);
+  for (const std::string query :
+       {"alpha", "beta", "delta", "alpha delta", "zeta", "alpha beta"}) {
+    std::vector<Oid> expected;
+    for (const auto& [oid, text] : corpus) {
+      if (InvertedTextIndex::MatchesText(text, query)) {
+        expected.push_back(oid);
+      }
+    }
+    EXPECT_EQ(index.Search(query), expected) << "query: " << query;
+  }
+}
+
+TEST(InvertedIndexTest, DocumentFrequency) {
+  InvertedTextIndex index;
+  index.Add(Oid(1, 1), "a b");
+  index.Add(Oid(1, 2), "a");
+  EXPECT_EQ(index.DocumentFrequency("a"), 2u);
+  EXPECT_EQ(index.DocumentFrequency("b"), 1u);
+  EXPECT_EQ(index.DocumentFrequency("zz"), 0u);
+}
+
+TEST(InvertedIndexTest, DuplicateWordsIndexedOnce) {
+  InvertedTextIndex index;
+  index.Add(Oid(1, 1), "spam spam spam");
+  EXPECT_EQ(index.DocumentFrequency("spam"), 1u);
+}
+
+TEST(InvertedIndexTest, Counters) {
+  InvertedTextIndex index;
+  index.Add(Oid(1, 1), "x y");
+  EXPECT_EQ(index.indexed_count(), 1u);
+  (void)index.Search("x");
+  (void)index.Search("y");
+  EXPECT_EQ(index.search_count(), 2u);
+  EXPECT_GT(index.postings_scanned(), 0u);
+  index.ResetCounters();
+  EXPECT_EQ(index.search_count(), 0u);
+}
+
+TEST(OrderedIndexTest, PointLookup) {
+  OrderedAttributeIndex index;
+  index.Insert("Query Optimization", Oid(1, 3));
+  index.Insert("Query Optimization", Oid(1, 1));
+  index.Insert("Other", Oid(1, 2));
+  EXPECT_EQ(index.Lookup("Query Optimization"),
+            (std::vector<Oid>{Oid(1, 1), Oid(1, 3)}));
+  EXPECT_TRUE(index.Lookup("Missing").empty());
+  EXPECT_EQ(index.entry_count(), 3u);
+  EXPECT_EQ(index.distinct_keys(), 2u);
+}
+
+TEST(OrderedIndexTest, RangeLookup) {
+  OrderedAttributeIndex index;
+  index.Insert("a", Oid(1, 1));
+  index.Insert("b", Oid(1, 2));
+  index.Insert("c", Oid(1, 3));
+  index.Insert("d", Oid(1, 4));
+  EXPECT_EQ(index.LookupRange("b", "c"),
+            (std::vector<Oid>{Oid(1, 2), Oid(1, 3)}));
+  EXPECT_EQ(index.LookupRange("e", "z"), std::vector<Oid>{});
+}
+
+TEST(OrderedIndexTest, LookupCounter) {
+  OrderedAttributeIndex index;
+  index.Insert("k", Oid(1, 1));
+  (void)index.Lookup("k");
+  (void)index.LookupRange("a", "z");
+  EXPECT_EQ(index.lookup_count(), 2u);
+  index.ResetCounters();
+  EXPECT_EQ(index.lookup_count(), 0u);
+}
+
+}  // namespace
+}  // namespace vodak

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "methods/method_registry.h"
+#include "workload/document_db.h"
+
+namespace vodak {
+namespace {
+
+class MethodsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Init().ok());
+    workload::CorpusParams params;
+    params.num_documents = 5;
+    params.sections_per_document = 2;
+    params.paragraphs_per_section = 3;
+    ASSERT_TRUE(db_.Populate(params).ok());
+    ctx_ = MethodCallContext{&db_.catalog(), &db_.store(), &db_.methods(),
+                             0};
+  }
+
+  Oid FirstOf(uint32_t class_id) {
+    return db_.store().Extent(class_id).value().front();
+  }
+
+  workload::DocumentDb db_;
+  MethodCallContext ctx_;
+};
+
+TEST_F(MethodsTest, PathMethodDocument) {
+  Oid par = FirstOf(db_.paragraph_class_id());
+  auto doc = db_.methods().InvokeInstance(ctx_, par, "document", {});
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc.value().is_oid());
+  EXPECT_EQ(doc.value().AsOid().class_id, db_.document_class_id());
+
+  // Must agree with manually chasing section.document.
+  Value section =
+      ReadPropertyByName(db_.catalog(), db_.store(), par, "section").value();
+  Value via_path = ReadPropertyByName(db_.catalog(), db_.store(),
+                                      section.AsOid(), "document")
+                       .value();
+  EXPECT_EQ(doc.value(), via_path);
+}
+
+TEST_F(MethodsTest, SameDocumentReflexive) {
+  Oid par = FirstOf(db_.paragraph_class_id());
+  auto r = db_.methods().InvokeInstance(ctx_, par, "sameDocument",
+                                        {Value::OfOid(par)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().AsBool());
+}
+
+TEST_F(MethodsTest, SameDocumentDistinguishesDocuments) {
+  auto extent = db_.store().Extent(db_.paragraph_class_id()).value();
+  Oid first = extent.front();
+  Oid last = extent.back();  // belongs to the last document
+  auto r = db_.methods().InvokeInstance(ctx_, first, "sameDocument",
+                                        {Value::OfOid(last)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().AsBool());
+}
+
+TEST_F(MethodsTest, DocumentParagraphsCollectsAllSections) {
+  Oid doc = FirstOf(db_.document_class_id());
+  auto r = db_.methods().InvokeInstance(ctx_, doc, "paragraphs", {});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().is_set());
+  EXPECT_EQ(r.value().AsSet().size(), 2u * 3u);
+}
+
+TEST_F(MethodsTest, SelectByIndexFindsSpecialTitle) {
+  auto r = db_.methods().InvokeClass(
+      ctx_, "Document", "select_by_index",
+      {Value::String(workload::DocumentDb::kSpecialTitle)});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().AsSet().size(), 1u);
+  Value title = ReadPropertyByName(db_.catalog(), db_.store(),
+                                   r.value().AsSet()[0].AsOid(), "title")
+                    .value();
+  EXPECT_EQ(title.AsString(), workload::DocumentDb::kSpecialTitle);
+}
+
+TEST_F(MethodsTest, RetrieveByStringAgreesWithContainsString) {
+  // Equivalence E5 holds exactly on the populated database.
+  auto via_index = db_.methods().InvokeClass(
+      ctx_, "Paragraph", "retrieve_by_string",
+      {Value::String(workload::DocumentDb::kSearchWord)});
+  ASSERT_TRUE(via_index.ok());
+
+  std::vector<Value> via_scan;
+  for (Oid par : db_.store().Extent(db_.paragraph_class_id()).value()) {
+    auto hit = db_.methods().InvokeInstance(
+        ctx_, par, "contains_string",
+        {Value::String(workload::DocumentDb::kSearchWord)});
+    ASSERT_TRUE(hit.ok());
+    if (hit.value().AsBool()) via_scan.push_back(Value::OfOid(par));
+  }
+  EXPECT_EQ(via_index.value(), Value::Set(std::move(via_scan)));
+  EXPECT_FALSE(via_index.value().AsSet().empty())
+      << "corpus must contain the search word for the test to bite";
+}
+
+TEST_F(MethodsTest, WordCountMatchesLargeParagraphs) {
+  // The §4.2 implication: wordCount() > threshold implies membership in
+  // document().largeParagraphs.
+  uint32_t threshold = db_.params().large_paragraph_threshold;
+  int large_seen = 0;
+  for (Oid par : db_.store().Extent(db_.paragraph_class_id()).value()) {
+    auto wc = db_.methods().InvokeInstance(ctx_, par, "wordCount", {});
+    ASSERT_TRUE(wc.ok());
+    auto doc = db_.methods().InvokeInstance(ctx_, par, "document", {});
+    ASSERT_TRUE(doc.ok());
+    Value large = ReadPropertyByName(db_.catalog(), db_.store(),
+                                     doc.value().AsOid(), "largeParagraphs")
+                      .value();
+    bool is_large = wc.value().AsInt() > threshold;
+    EXPECT_EQ(is_large, large.Contains(Value::OfOid(par)));
+    if (is_large) ++large_seen;
+  }
+  EXPECT_GT(large_seen, 0) << "corpus must contain large paragraphs";
+}
+
+TEST_F(MethodsTest, InvocationCounting) {
+  db_.ResetCounters();
+  Oid par = FirstOf(db_.paragraph_class_id());
+  (void)db_.methods().InvokeInstance(ctx_, par, "document", {});
+  (void)db_.methods().InvokeInstance(ctx_, par, "document", {});
+  EXPECT_EQ(db_.methods().invocation_count("Paragraph", "document",
+                                           MethodLevel::kInstance),
+            2u);
+  // sameDocument internally calls document twice more.
+  (void)db_.methods().InvokeInstance(ctx_, par, "sameDocument",
+                                     {Value::OfOid(par)});
+  EXPECT_EQ(db_.methods().invocation_count("Paragraph", "document",
+                                           MethodLevel::kInstance),
+            4u);
+  EXPECT_EQ(db_.methods().total_invocations(), 5u);
+}
+
+TEST_F(MethodsTest, UnknownMethodFails) {
+  Oid par = FirstOf(db_.paragraph_class_id());
+  EXPECT_FALSE(db_.methods().InvokeInstance(ctx_, par, "nope", {}).ok());
+  EXPECT_FALSE(db_.methods().InvokeClass(ctx_, "Paragraph", "nope", {}).ok());
+  EXPECT_FALSE(db_.methods().InvokeClass(ctx_, "Nope", "m", {}).ok());
+}
+
+TEST_F(MethodsTest, ArityChecked) {
+  Oid par = FirstOf(db_.paragraph_class_id());
+  EXPECT_FALSE(
+      db_.methods().InvokeInstance(ctx_, par, "document", {Value::Int(1)})
+          .ok());
+  EXPECT_FALSE(
+      db_.methods().InvokeInstance(ctx_, par, "contains_string", {}).ok());
+}
+
+TEST_F(MethodsTest, SetCostUpdatesAnnotation) {
+  MethodCost cost{99.0, 0.25, 7.0};
+  ASSERT_TRUE(db_.methods()
+                  .SetCost("Paragraph", "wordCount", MethodLevel::kInstance,
+                           cost)
+                  .ok());
+  const auto* reg = db_.methods().Find("Paragraph", "wordCount",
+                                       MethodLevel::kInstance);
+  ASSERT_NE(reg, nullptr);
+  EXPECT_DOUBLE_EQ(reg->cost.per_call, 99.0);
+  EXPECT_FALSE(db_.methods()
+                   .SetCost("Paragraph", "nope", MethodLevel::kInstance,
+                            cost)
+                   .ok());
+}
+
+TEST_F(MethodsTest, ExternalMethodsAreMarked) {
+  EXPECT_TRUE(db_.methods()
+                  .Find("Paragraph", "contains_string",
+                        MethodLevel::kInstance)
+                  ->impl.is_external);
+  EXPECT_TRUE(db_.methods()
+                  .Find("Paragraph", "retrieve_by_string",
+                        MethodLevel::kClassObject)
+                  ->impl.is_external);
+  EXPECT_FALSE(db_.methods()
+                   .Find("Paragraph", "document", MethodLevel::kInstance)
+                   ->impl.is_external);
+}
+
+}  // namespace
+}  // namespace vodak

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "algebra/translate.h"
+#include "optimizer/memo.h"
+#include "optimizer/optimizer.h"
+#include "semantics/generator.h"
+#include "vql/interpreter.h"
+#include "vql/parser.h"
+#include "workload/document_db.h"
+#include "workload/document_knowledge.h"
+
+namespace vodak {
+namespace opt {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Init().ok());
+    workload::CorpusParams params;
+    params.num_documents = 10;
+    params.sections_per_document = 2;
+    params.paragraphs_per_section = 3;
+    params.implementation_fraction = 0.25;
+    ASSERT_TRUE(db_.Populate(params).ok());
+    ctx_ = std::make_unique<algebra::AlgebraContext>(&db_.catalog());
+    cost_ = std::make_unique<CostModel>(&db_.catalog(), &db_.store(),
+                                        &db_.methods());
+    eval_ = std::make_unique<ExprEvaluator>(&db_.catalog(), &db_.store(),
+                                            &db_.methods());
+  }
+
+  algebra::LogicalRef Translate(const std::string& text) {
+    auto q = vql::ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    vql::Binder binder(&db_.catalog());
+    auto bound = binder.Bind(q.value());
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    auto plan = TranslateQuery(*ctx_, bound.value());
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.value();
+  }
+
+  workload::DocumentDb db_;
+  std::unique_ptr<algebra::AlgebraContext> ctx_;
+  std::unique_ptr<CostModel> cost_;
+  std::unique_ptr<ExprEvaluator> eval_;
+};
+
+TEST_F(OptimizerTest, MemoDedupsIdenticalTrees) {
+  Memo memo(ctx_.get());
+  auto plan = Translate("ACCESS p FROM p IN Paragraph WHERE p.number == 0");
+  auto g1 = memo.Insert(plan);
+  size_t exprs = memo.expr_count();
+  auto g2 = memo.Insert(plan);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1.value(), g2.value());
+  EXPECT_EQ(memo.expr_count(), exprs);  // nothing new
+}
+
+TEST_F(OptimizerTest, MemoSeparatesDifferentTrees) {
+  Memo memo(ctx_.get());
+  auto g1 = memo.Insert(
+      Translate("ACCESS p FROM p IN Paragraph WHERE p.number == 0"));
+  auto g2 = memo.Insert(
+      Translate("ACCESS p FROM p IN Paragraph WHERE p.number == 1"));
+  EXPECT_NE(g1.value(), g2.value());
+}
+
+TEST_F(OptimizerTest, MemoInsertIntoGroupMergesDuplicates) {
+  Memo memo(ctx_.get());
+  auto get = ctx_->Get("p", "Paragraph").value();
+  auto sel0 = ctx_->Select(vql::ParseExpr("p.number == 0").value(), get)
+                  .value();
+  auto sel1 = ctx_->Select(vql::ParseExpr("p.number == 1").value(), get)
+                  .value();
+  int ga = memo.Insert(sel0).value();
+  int gb = memo.Insert(sel1).value();
+  ASSERT_NE(memo.Find(ga), memo.Find(gb));
+  // Claim sel1 is equivalent to sel0's group: groups must merge.
+  ASSERT_TRUE(memo.InsertIntoGroup(sel1, ga).ok());
+  EXPECT_EQ(memo.Find(ga), memo.Find(gb));
+}
+
+TEST_F(OptimizerTest, MemoExtractRoundTrips) {
+  Memo memo(ctx_.get());
+  auto plan = Translate(
+      "ACCESS p FROM p IN Paragraph WHERE "
+      "p->contains_string('implementation')");
+  int root = memo.Insert(plan).value();
+  auto chooser = [&memo](int gid) {
+    return memo.group(gid).exprs.front();
+  };
+  int root_expr = memo.group(root).exprs.front();
+  auto extracted = memo.Extract(root_expr, chooser);
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_TRUE(algebra::LogicalNode::Equals(extracted.value(), plan));
+}
+
+TEST_F(OptimizerTest, CostModelExtentCardinality) {
+  EXPECT_DOUBLE_EQ(cost_->ExtentCardinality("Document"), 10.0);
+  EXPECT_DOUBLE_EQ(cost_->ExtentCardinality("Paragraph"), 60.0);
+  EXPECT_DOUBLE_EQ(cost_->ExtentCardinality("Nope"), 1.0);
+}
+
+TEST_F(OptimizerTest, CostModelMethodCostsDifferFromProperties) {
+  // §2.3: attributes have uniform cost, methods do not.
+  double prop = cost_->ExprCost(vql::ParseExpr("p.number").value());
+  vql::Binder binder(&db_.catalog());
+  TypeRef t;
+  auto contains =
+      binder.BindExpr(vql::ParseExpr(
+                          "p->contains_string('implementation')").value(),
+                      {{"p", Type::OidOf("Paragraph")}}, &t);
+  ASSERT_TRUE(contains.ok());
+  double method = cost_->ExprCost(contains.value());
+  EXPECT_GT(method, 5.0 * prop);
+}
+
+TEST_F(OptimizerTest, CostModelSelectivityOfConjunction) {
+  ExprRef cheap = vql::ParseExpr("1 == 1").value();
+  double sel_and = cost_->Selectivity(
+      Expr::Binary(BinOp::kAnd, cheap, cheap));
+  double sel_single = cost_->Selectivity(cheap);
+  EXPECT_LE(sel_and, sel_single + 1e-12);
+  EXPECT_DOUBLE_EQ(
+      cost_->Selectivity(Expr::Const(Value::Bool(true))), 1.0);
+  EXPECT_DOUBLE_EQ(
+      cost_->Selectivity(Expr::Const(Value::Bool(false))), 0.0);
+  double not_sel = cost_->Selectivity(
+      Expr::Unary(UnOp::kNot, cheap));
+  EXPECT_DOUBLE_EQ(not_sel, 1.0 - sel_single);
+}
+
+TEST_F(OptimizerTest, BuiltinRulesPreserveSemantics) {
+  // Soundness property: for every builtin rule and every binding found
+  // while optimizing a mix of queries, both sides of the rewrite must
+  // evaluate to the same set. We check end-to-end: naive evaluation of
+  // the original and optimized plans agree.
+  std::vector<std::string> queries = {
+      "ACCESS p FROM p IN Paragraph WHERE p.number == 0 AND "
+      "p->contains_string('implementation')",
+      "ACCESS [a: p.number, b: q.number] FROM p IN Paragraph, "
+      "q IN Paragraph WHERE p->sameDocument(q) AND p.number == 0",
+      "ACCESS d.title FROM d IN Document, s IN d.sections "
+      "WHERE s.number == 1",
+  };
+  Optimizer optimizer(ctx_.get(), cost_.get(), BuiltinRules());
+  for (const auto& text : queries) {
+    auto plan = Translate(text);
+    auto result = optimizer.Optimize(plan);
+    ASSERT_TRUE(result.ok()) << text << ": "
+                             << result.status().ToString();
+    auto before = algebra::EvalLogical(plan, *eval_);
+    auto after = algebra::EvalLogical(result.value().best_plan, *eval_);
+    ASSERT_TRUE(before.ok()) << text;
+    ASSERT_TRUE(after.ok()) << text;
+    EXPECT_EQ(before.value(), after.value()) << text;
+    EXPECT_LE(result.value().best_cost,
+              result.value().original_cost + 1e-9)
+        << text;
+  }
+}
+
+TEST_F(OptimizerTest, OptimizerChoosesCheapPredicateFirst) {
+  // Expensive-predicate ordering (experiment X2): the cheap structural
+  // predicate must be evaluated before the expensive method predicate.
+  Optimizer optimizer(ctx_.get(), cost_.get(), BuiltinRules());
+  auto plan = Translate(
+      "ACCESS p FROM p IN Paragraph WHERE "
+      "p->contains_string('implementation') AND p.number == 0");
+  auto result = optimizer.Optimize(plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Walk down: the select adjacent to the scan must be the cheap one.
+  const algebra::LogicalNode* node = result.value().best_plan.get();
+  std::vector<std::string> conds;
+  while (node->op() != algebra::LogicalOp::kGet) {
+    if (node->op() == algebra::LogicalOp::kSelect) {
+      conds.push_back(node->expr()->ToString());
+    }
+    node = node->input(0).get();
+  }
+  ASSERT_EQ(conds.size(), 2u);
+  EXPECT_NE(conds[0].find("contains_string"), std::string::npos)
+      << "expensive predicate must be outermost";
+  EXPECT_NE(conds[1].find("number"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, ApplyOnceRulesDoNotLoop) {
+  // An implication rule re-deriving itself would never terminate; the
+  // applied-mask (⟶!) must keep this finite.
+  semantics::KnowledgeBase kb(&db_.catalog());
+  ASSERT_TRUE(kb.AddCondImplication(
+                    "LARGE", "p", "Paragraph", "p->wordCount() > 100",
+                    "p IS-IN (p->document()).largeParagraphs")
+                  .ok());
+  auto rules = BuiltinRules();
+  for (auto& rule : kb.DeriveRules()) rules.push_back(rule);
+  Optimizer optimizer(ctx_.get(), cost_.get(), std::move(rules));
+  auto plan = Translate(
+      "ACCESS p FROM p IN Paragraph WHERE p->wordCount() > 100");
+  auto result = optimizer.Optimize(plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto before = algebra::EvalLogical(plan, *eval_);
+  auto after = algebra::EvalLogical(result.value().best_plan, *eval_);
+  EXPECT_EQ(before.value(), after.value());
+}
+
+TEST_F(OptimizerTest, ExprLimitIsEnforced) {
+  OptimizerOptions options;
+  options.max_exprs = 3;
+  Optimizer optimizer(ctx_.get(), cost_.get(), BuiltinRules(), options);
+  auto plan = Translate(
+      "ACCESS [a: p.number, b: q.number] FROM p IN Paragraph, "
+      "q IN Paragraph WHERE p->sameDocument(q)");
+  auto result = optimizer.Optimize(plan);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kPlanError);
+}
+
+TEST_F(OptimizerTest, TraceRecordsRuleApplications) {
+  OptimizerOptions options;
+  options.enable_trace = true;
+  Optimizer optimizer(ctx_.get(), cost_.get(), BuiltinRules(), options);
+  auto plan = Translate(
+      "ACCESS p FROM p IN Paragraph WHERE p.number == 0 AND "
+      "p.number == 0");
+  auto result = optimizer.Optimize(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().trace.empty());
+  bool saw_split = false;
+  for (const auto& entry : result.value().trace) {
+    if (entry.rule == "select-split-and") saw_split = true;
+    EXPECT_FALSE(entry.before.empty());
+    EXPECT_FALSE(entry.after.empty());
+  }
+  EXPECT_TRUE(saw_split);
+  EXPECT_FALSE(result.value().memo_dump.empty());
+}
+
+TEST_F(OptimizerTest, JoinOrderingPrefersSelectiveSideFirst) {
+  // Join commutativity must let the optimizer at least not regress.
+  Optimizer optimizer(ctx_.get(), cost_.get(), BuiltinRules());
+  auto plan = Translate(
+      "ACCESS s.number FROM d IN Document, s IN Section "
+      "WHERE s.document == d AND d.title == 'Query Optimization'");
+  auto result = optimizer.Optimize(plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result.value().best_cost, result.value().original_cost);
+  auto before = algebra::EvalLogical(plan, *eval_);
+  auto after = algebra::EvalLogical(result.value().best_plan, *eval_);
+  EXPECT_EQ(before.value(), after.value());
+}
+
+TEST_F(OptimizerTest, PatternDepth) {
+  EXPECT_EQ(Pattern::Any().Depth(), 0);
+  EXPECT_EQ(Pattern::AnyOp().Depth(), 1);
+  EXPECT_EQ(Pattern::Op(algebra::LogicalOp::kSelect,
+                        {Pattern::Any()})
+                .Depth(),
+            1);
+  EXPECT_EQ(Pattern::Op(algebra::LogicalOp::kSelect,
+                        {Pattern::Op(algebra::LogicalOp::kSelect,
+                                     {Pattern::Any()})})
+                .Depth(),
+            2);
+}
+
+TEST_F(OptimizerTest, RuleCountCapIs64) {
+  std::vector<RulePtr> builtin = BuiltinRules();
+  EXPECT_LE(builtin.size(), 64u);
+  semantics::OptimizerGenerator generator(&db_.catalog(), &db_.store(),
+                                          &db_.methods());
+  semantics::KnowledgeBase kb(&db_.catalog());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(kb.AddExprEquivalence("R" + std::to_string(i), "p",
+                                      "Paragraph", "p->document()",
+                                      "p.section.document")
+                    .ok());
+  }
+  auto generated = generator.Generate(&kb);
+  EXPECT_FALSE(generated.ok());
+  EXPECT_EQ(generated.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace vodak

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "workload/document_knowledge.h"
+
+namespace vodak {
+namespace {
+
+/// Cross-corpus correctness sweep: the optimizer must preserve query
+/// semantics on *every* database, not just the default test corpus.
+/// Parameterized over (seed, corpus shape); each instance runs a battery
+/// of queries through interpreter, unoptimized plan and optimized plan
+/// and demands identical result sets. This is the property-based
+/// counterpart of engine_test's fixed-corpus suite.
+struct CorpusCase {
+  uint64_t seed;
+  uint32_t docs;
+  uint32_t sections;
+  uint32_t paragraphs;
+  double impl_fraction;
+  double large_fraction;
+};
+
+class CorpusSweepTest : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(CorpusSweepTest, OptimizationPreservesSemanticsEverywhere) {
+  const CorpusCase& corpus_case = GetParam();
+  workload::DocumentDb db;
+  ASSERT_TRUE(db.Init().ok());
+  workload::CorpusParams params;
+  params.seed = corpus_case.seed;
+  params.num_documents = corpus_case.docs;
+  params.sections_per_document = corpus_case.sections;
+  params.paragraphs_per_section = corpus_case.paragraphs;
+  params.implementation_fraction = corpus_case.impl_fraction;
+  params.large_paragraph_fraction = corpus_case.large_fraction;
+  ASSERT_TRUE(db.Populate(params).ok());
+  auto session = workload::MakePaperSession(&db);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  const std::vector<std::string> queries = {
+      "ACCESS p FROM p IN Paragraph WHERE "
+      "p->contains_string('implementation') AND "
+      "(p->document()).title == 'Query Optimization'",
+      "ACCESS p FROM p IN Paragraph WHERE "
+      "p->contains_string('implementation')",
+      "ACCESS p FROM p IN Paragraph WHERE p->wordCount() > " +
+          std::to_string(params.large_paragraph_threshold),
+      "ACCESS d.title FROM d IN Document, p IN d->paragraphs() WHERE "
+      "p->contains_string('implementation')",
+      "ACCESS p FROM p IN Paragraph WHERE p.section.document IS-IN "
+      "Document->select_by_index('Title 1')",
+      "ACCESS [a: p.number, b: q.number] FROM p IN Paragraph, "
+      "q IN Paragraph WHERE p->sameDocument(q) AND p.number == 0 "
+      "AND q.number == 0",
+  };
+  for (const std::string& query : queries) {
+    auto naive = (*session)->RunNaive(query);
+    ASSERT_TRUE(naive.ok()) << query << ": " << naive.status().ToString();
+    auto optimized = (*session)->Run(query, {/*optimize=*/true});
+    ASSERT_TRUE(optimized.ok())
+        << query << ": " << optimized.status().ToString();
+    EXPECT_EQ(optimized.value().result, naive.value())
+        << "seed " << corpus_case.seed << ", query: " << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpora, CorpusSweepTest,
+    ::testing::Values(
+        CorpusCase{1, 5, 1, 1, 0.5, 0.0},    // degenerate: 1 para/doc
+        CorpusCase{2, 8, 2, 2, 0.0, 0.0},    // no marker word at all
+        CorpusCase{3, 8, 2, 2, 1.0, 1.0},    // everything matches
+        CorpusCase{4, 12, 3, 4, 0.1, 0.1},   // default-ish
+        CorpusCase{5, 30, 1, 8, 0.25, 0.5},  // flat & wide
+        CorpusCase{6, 3, 6, 2, 0.3, 0.2},    // deep & narrow
+        CorpusCase{7, 25, 2, 3, 0.05, 0.05}, // sparse matches
+        CorpusCase{8, 25, 2, 3, 0.05, 0.05}  // same shape, diff seed
+        ));
+
+/// Edge cases around empty results and empty structures.
+class EmptinessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Init().ok());
+  }
+  workload::DocumentDb db_;
+};
+
+TEST_F(EmptinessTest, QueriesOverEmptyDatabase) {
+  // No Populate at all: every extent is empty.
+  auto session = workload::MakePaperSession(&db_);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  for (const char* query : {
+           "ACCESS p FROM p IN Paragraph",
+           "ACCESS p FROM p IN Paragraph WHERE "
+           "p->contains_string('implementation')",
+           "ACCESS p FROM p IN Paragraph WHERE "
+           "p->contains_string('implementation') AND "
+           "(p->document()).title == 'Query Optimization'",
+           "ACCESS d.title FROM d IN Document, p IN d->paragraphs()",
+       }) {
+    auto optimized = (*session)->Run(query, {/*optimize=*/true});
+    ASSERT_TRUE(optimized.ok())
+        << query << ": " << optimized.status().ToString();
+    EXPECT_TRUE(optimized.value().result.AsSet().empty()) << query;
+    auto naive = (*session)->RunNaive(query);
+    ASSERT_TRUE(naive.ok());
+    EXPECT_EQ(optimized.value().result, naive.value());
+  }
+}
+
+TEST_F(EmptinessTest, SearchTermAbsentFromCorpus) {
+  workload::CorpusParams params;
+  params.num_documents = 5;
+  ASSERT_TRUE(db_.Populate(params).ok());
+  auto session = workload::MakePaperSession(&db_);
+  ASSERT_TRUE(session.ok());
+  const char* query =
+      "ACCESS p FROM p IN Paragraph WHERE "
+      "p->contains_string('zzzunknownzzz')";
+  auto optimized = (*session)->Run(query, {true});
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_TRUE(optimized.value().result.AsSet().empty());
+  EXPECT_EQ(optimized.value().result,
+            (*session)->RunNaive(query).value());
+}
+
+/// Determinism: identical seeds give identical corpora, results and
+/// chosen plans.
+TEST(DeterminismTest, SameSeedSameEverything) {
+  auto run_once = [](uint64_t seed) {
+    workload::DocumentDb db;
+    VODAK_CHECK(db.Init().ok());
+    workload::CorpusParams params;
+    params.seed = seed;
+    params.num_documents = 10;
+    VODAK_CHECK(db.Populate(params).ok());
+    auto session = workload::MakePaperSession(&db);
+    VODAK_CHECK(session.ok());
+    auto result = (*session)->Run(
+        "ACCESS p FROM p IN Paragraph WHERE "
+        "p->contains_string('implementation')",
+        {true});
+    VODAK_CHECK(result.ok());
+    return std::make_pair(result.value().result,
+                          result.value().chosen_plan->ToString());
+  };
+  auto [r1, p1] = run_once(99);
+  auto [r2, p2] = run_once(99);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(p1, p2);
+  auto [r3, p3] = run_once(100);
+  EXPECT_EQ(p1, p3);  // same plan shape regardless of data seed
+}
+
+}  // namespace
+}  // namespace vodak

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "schema/catalog.h"
+#include "workload/document_db.h"
+
+namespace vodak {
+namespace {
+
+TEST(CatalogTest, DefineAndFind) {
+  Catalog catalog;
+  auto cls = catalog.DefineClass("Doc");
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(cls.value()->class_id(), 1u);
+  EXPECT_EQ(catalog.FindClass("Doc"), cls.value());
+  EXPECT_EQ(catalog.FindClassById(1), cls.value());
+  EXPECT_EQ(catalog.FindClass("Nope"), nullptr);
+  EXPECT_EQ(catalog.FindClassById(0), nullptr);
+  EXPECT_EQ(catalog.FindClassById(2), nullptr);
+}
+
+TEST(CatalogTest, DuplicateClassRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.DefineClass("Doc").ok());
+  EXPECT_FALSE(catalog.DefineClass("Doc").ok());
+}
+
+TEST(CatalogTest, SequentialClassIds) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.DefineClass("A").value()->class_id(), 1u);
+  EXPECT_EQ(catalog.DefineClass("B").value()->class_id(), 2u);
+  EXPECT_EQ(catalog.DefineClass("C").value()->class_id(), 3u);
+}
+
+TEST(ClassDefTest, PropertiesGetSlotsInOrder) {
+  Catalog catalog;
+  ClassDef* cls = catalog.DefineClass("Doc").value();
+  ASSERT_TRUE(cls->AddProperty("a", Type::Int()).ok());
+  ASSERT_TRUE(cls->AddProperty("b", Type::String()).ok());
+  EXPECT_EQ(cls->FindProperty("a")->slot, 0u);
+  EXPECT_EQ(cls->FindProperty("b")->slot, 1u);
+  EXPECT_EQ(cls->FindProperty("c"), nullptr);
+  EXPECT_FALSE(cls->AddProperty("a", Type::Int()).ok());
+}
+
+TEST(ClassDefTest, MethodLevelsAreSeparateNamespaces) {
+  Catalog catalog;
+  ClassDef* cls = catalog.DefineClass("Doc").value();
+  ASSERT_TRUE(
+      cls->AddMethod({"m", {}, Type::Int(), MethodLevel::kInstance}).ok());
+  ASSERT_TRUE(
+      cls->AddMethod({"m", {}, Type::Int(), MethodLevel::kClassObject})
+          .ok());
+  EXPECT_NE(cls->FindMethod("m", MethodLevel::kInstance), nullptr);
+  EXPECT_NE(cls->FindMethod("m", MethodLevel::kClassObject), nullptr);
+  EXPECT_FALSE(
+      cls->AddMethod({"m", {}, Type::Int(), MethodLevel::kInstance}).ok());
+}
+
+TEST(ClassDefTest, ToStringRendersVmlStyle) {
+  workload::DocumentDb db;
+  ASSERT_TRUE(db.Init().ok());
+  const ClassDef* par = db.catalog().FindClass("Paragraph");
+  ASSERT_NE(par, nullptr);
+  std::string s = par->ToString();
+  EXPECT_NE(s.find("CLASS Paragraph"), std::string::npos);
+  EXPECT_NE(s.find("OWNTYPE"), std::string::npos);
+  EXPECT_NE(s.find("retrieve_by_string(s: STRING): {Paragraph}"),
+            std::string::npos);
+  EXPECT_NE(s.find("contains_string(s: STRING): BOOL"), std::string::npos);
+  EXPECT_NE(s.find("section: Section"), std::string::npos);
+}
+
+TEST(DocumentSchemaTest, MatchesPaperSection21) {
+  workload::DocumentDb db;
+  ASSERT_TRUE(db.Init().ok());
+  const Catalog& catalog = db.catalog();
+
+  const ClassDef* doc = catalog.FindClass("Document");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_NE(doc->FindProperty("title"), nullptr);
+  EXPECT_NE(doc->FindProperty("author"), nullptr);
+  EXPECT_NE(doc->FindProperty("sections"), nullptr);
+  EXPECT_NE(doc->FindMethod("select_by_index", MethodLevel::kClassObject),
+            nullptr);
+  EXPECT_NE(doc->FindMethod("paragraphs", MethodLevel::kInstance), nullptr);
+
+  const ClassDef* sec = catalog.FindClass("Section");
+  ASSERT_NE(sec, nullptr);
+  for (const char* prop : {"number", "title", "document", "paragraphs"}) {
+    EXPECT_NE(sec->FindProperty(prop), nullptr) << prop;
+  }
+
+  const ClassDef* par = catalog.FindClass("Paragraph");
+  ASSERT_NE(par, nullptr);
+  for (const char* prop : {"number", "section", "content"}) {
+    EXPECT_NE(par->FindProperty(prop), nullptr) << prop;
+  }
+  for (const char* m : {"document", "contains_string", "sameDocument"}) {
+    EXPECT_NE(par->FindMethod(m, MethodLevel::kInstance), nullptr) << m;
+  }
+  EXPECT_NE(par->FindMethod("retrieve_by_string", MethodLevel::kClassObject),
+            nullptr);
+}
+
+TEST(DocumentSchemaTest, SignatureTypesMatchPaper) {
+  workload::DocumentDb db;
+  ASSERT_TRUE(db.Init().ok());
+  const ClassDef* par = db.catalog().FindClass("Paragraph");
+  const MethodSig* doc_m = par->FindMethod("document", MethodLevel::kInstance);
+  EXPECT_EQ(doc_m->return_type->ToString(), "Document");
+  const MethodSig* same =
+      par->FindMethod("sameDocument", MethodLevel::kInstance);
+  ASSERT_EQ(same->params.size(), 1u);
+  EXPECT_EQ(same->params[0].second->ToString(), "Paragraph");
+  EXPECT_EQ(same->return_type->ToString(), "BOOL");
+}
+
+}  // namespace
+}  // namespace vodak
