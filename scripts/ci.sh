@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a bench smoke pass, so bench binaries cannot
+# bit-rot silently. Usage: scripts/ci.sh [--skip-bench]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_BENCH=0
+[[ "${1:-}" == "--skip-bench" ]] && SKIP_BENCH=1
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "$SKIP_BENCH" == "1" ]]; then
+  echo "== bench smoke skipped =="
+  exit 0
+fi
+
+echo "== bench smoke (small N) =="
+# The batch-executor bench has its own flags; a tiny corpus suffices to
+# prove it runs end to end.
+./build/bench_batch_exec --docs=50 --reps=1
+
+# Google-benchmark binaries: run only the smallest Arg() variant of each
+# benchmark (plus arg-less ones) with a minimal measuring time.
+SMOKE_FILTER='(/(1|2|10|20|50)$|^[^/]+$)'
+for bench in build/bench_*; do
+  [[ -x "$bench" && ! -d "$bench" ]] || continue
+  [[ "$(basename "$bench")" == "bench_batch_exec" ]] && continue
+  echo "-- $bench"
+  "$bench" --benchmark_filter="$SMOKE_FILTER" --benchmark_min_time=0.01
+done
+
+echo "== ci.sh: all green =="

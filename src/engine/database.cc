@@ -88,7 +88,10 @@ Result<QueryResult> Database::Run(const std::string& vql,
   out.physical_explain = exec::ExplainPhysical(*root);
   auto start = std::chrono::steady_clock::now();
   VODAK_ASSIGN_OR_RETURN(
-      out.result, exec::ExecuteColumn(root.get(), algebra::ResultRef(bound)));
+      out.result,
+      exec::ExecuteColumn(root.get(), algebra::ResultRef(bound),
+                          options.batch ? exec::ExecMode::kBatch
+                                        : exec::ExecMode::kRow));
   out.execute_ms = MsSince(start);
   return out;
 }

@@ -20,6 +20,9 @@ struct ExecOptions {
   /// Execute the chosen plan; false stops after planning (used by
   /// optimizer-scaling benchmarks where execution would dominate).
   bool execute = true;
+  /// Drive the physical plan batch-at-a-time (the vectorized pipeline);
+  /// false falls back to the row-at-a-time Volcano path.
+  bool batch = true;
 };
 
 /// Everything one query execution produced.

@@ -20,6 +20,17 @@ int PhysOperator::RefIndex(const std::string& name) const {
   return -1;
 }
 
+Result<bool> PhysOperator::NextBatch(RowBatch* batch) {
+  batch->Reset(refs_.size());
+  Row row;
+  while (batch->num_rows() < kDefaultBatchSize) {
+    VODAK_ASSIGN_OR_RETURN(bool more, Next(&row));
+    if (!more) break;
+    batch->AppendRow(row);
+  }
+  return batch->num_rows() > 0;
+}
+
 namespace {
 
 std::vector<std::string> RefsOf(const LogicalRef& node) {
@@ -33,6 +44,22 @@ Env EnvFromRow(const std::vector<std::string>& refs, const Row& row) {
   Env env;
   for (size_t i = 0; i < refs.size(); ++i) env[refs[i]] = row[i];
   return env;
+}
+
+/// Fills a single-column batch with up to kDefaultBatchSize elements
+/// taken from a source of `size` elements starting at `*pos`; `emit`
+/// maps a source index to the column value. Shared by the leaf scans.
+template <typename Emit>
+size_t FillScanBatch(RowBatch* batch, size_t size, size_t* pos,
+                     Emit emit) {
+  batch->Reset(1);
+  const size_t remaining = *pos < size ? size - *pos : 0;
+  const size_t n = std::min(kDefaultBatchSize, remaining);
+  auto& col = batch->column(0);
+  col.reserve(n);
+  for (size_t i = 0; i < n; ++i) col.push_back(emit((*pos)++));
+  batch->set_num_rows(n);
+  return n;
 }
 
 uint64_t HashRow(const Row& row) {
@@ -76,6 +103,13 @@ class ExtentScan : public PhysOperator {
     row->assign(1, Value::OfOid(extent_[pos_++]));
     ++rows_produced_;
     return true;
+  }
+  Result<bool> NextBatch(RowBatch* batch) override {
+    const size_t n = FillScanBatch(
+        batch, extent_.size(), &pos_,
+        [this](size_t i) { return Value::OfOid(extent_[i]); });
+    rows_produced_ += n;
+    return n > 0;
   }
   void Close() override { extent_.clear(); }
   std::string name() const override { return "ExtentScan"; }
@@ -123,6 +157,13 @@ class ExprSourceScan : public PhysOperator {
     ++rows_produced_;
     return true;
   }
+  Result<bool> NextBatch(RowBatch* batch) override {
+    const size_t n =
+        FillScanBatch(batch, elements_.size(), &pos_,
+                      [this](size_t i) { return elements_[i]; });
+    rows_produced_ += n;
+    return n > 0;
+  }
   void Close() override { elements_.clear(); }
   std::string name() const override { return "MethodScan"; }
   std::string params() const override {
@@ -162,6 +203,21 @@ class Filter : public PhysOperator {
       }
     }
   }
+  Result<bool> NextBatch(RowBatch* batch) override {
+    // refs_ == child refs, so the child's batch is filtered in place.
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, child_->NextBatch(batch));
+      if (!more) return false;
+      BatchEnv env{&refs_, &batch->columns(), batch->num_rows()};
+      VODAK_RETURN_IF_ERROR(
+          evaluator_.EvalPredicateBatch(cond_, env, &keep_));
+      size_t kept = batch->CompactRows(keep_);
+      if (kept > 0) {
+        rows_produced_ += kept;
+        return true;
+      }
+    }
+  }
   void Close() override { child_->Close(); }
   std::string name() const override { return "Filter"; }
   std::string params() const override { return cond_->ToString(); }
@@ -173,6 +229,7 @@ class Filter : public PhysOperator {
   ExprEvaluator evaluator_;
   PhysOpPtr child_;
   ExprRef cond_;
+  std::vector<char> keep_;
 };
 
 /// Nested-loop join with arbitrary condition (inner side materialized).
@@ -292,25 +349,51 @@ class HashJoin : public PhysOperator {
   }
 
   Status Open() override {
-    VODAK_RETURN_IF_ERROR(right_->Open());
-    Row row;
     table_.clear();
-    for (;;) {
-      VODAK_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
-      if (!more) break;
-      Row key;
-      key.reserve(right_key_idx_.size());
-      for (int i : right_key_idx_) key.push_back(row[i]);
-      table_[key].push_back(row);
-    }
-    right_->Close();
+    built_ = false;
     VODAK_RETURN_IF_ERROR(left_->Open());
     left_valid_ = false;
     bucket_ = nullptr;
     return Status::OK();
   }
 
+  /// Deferred build: drains the right side in the pipeline mode of the
+  /// first Next/NextBatch call, so a row-mode drain stays purely
+  /// row-at-a-time and a batch-mode drain builds batch-at-a-time.
+  Status BuildTable(bool batch_mode) {
+    VODAK_RETURN_IF_ERROR(right_->Open());
+    Row row;
+    Row key;
+    auto insert = [&]() {
+      key.clear();
+      key.reserve(right_key_idx_.size());
+      for (int i : right_key_idx_) key.push_back(row[i]);
+      table_[key].push_back(row);
+    };
+    if (batch_mode) {
+      RowBatch build;
+      for (;;) {
+        VODAK_ASSIGN_OR_RETURN(bool more, right_->NextBatch(&build));
+        if (!more) break;
+        for (size_t r = 0; r < build.num_rows(); ++r) {
+          build.CopyRowTo(r, &row);
+          insert();
+        }
+      }
+    } else {
+      for (;;) {
+        VODAK_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+        if (!more) break;
+        insert();
+      }
+    }
+    right_->Close();
+    built_ = true;
+    return Status::OK();
+  }
+
   Result<bool> Next(Row* row) override {
+    if (!built_) VODAK_RETURN_IF_ERROR(BuildTable(/*batch_mode=*/false));
     for (;;) {
       if (!left_valid_) {
         VODAK_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
@@ -334,6 +417,38 @@ class HashJoin : public PhysOperator {
         return true;
       }
       left_valid_ = false;
+    }
+  }
+  Result<bool> NextBatch(RowBatch* batch) override {
+    if (!built_) VODAK_RETURN_IF_ERROR(BuildTable(/*batch_mode=*/true));
+    Row key;
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, left_->NextBatch(&probe_batch_));
+      if (!more) return false;
+      batch->Reset(refs_.size());
+      size_t out_rows = 0;
+      for (size_t r = 0; r < probe_batch_.num_rows(); ++r) {
+        key.clear();
+        key.reserve(left_key_idx_.size());
+        for (int i : left_key_idx_) {
+          key.push_back(probe_batch_.column(i)[r]);
+        }
+        auto it = table_.find(key);
+        if (it == table_.end()) continue;
+        for (const Row& right_row : it->second) {
+          for (size_t c = 0; c < refs_.size(); ++c) {
+            batch->column(c).push_back(
+                from_left_[c] >= 0 ? probe_batch_.column(from_left_[c])[r]
+                                   : right_row[from_right_[c]]);
+          }
+          ++out_rows;
+        }
+      }
+      if (out_rows > 0) {
+        batch->set_num_rows(out_rows);
+        rows_produced_ += out_rows;
+        return true;
+      }
     }
   }
   void Close() override {
@@ -363,8 +478,10 @@ class HashJoin : public PhysOperator {
   std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> table_;
   Row left_row_;
   bool left_valid_ = false;
+  bool built_ = false;
   const std::vector<Row>* bucket_ = nullptr;
   size_t bucket_pos_ = 0;
+  RowBatch probe_batch_;
   std::vector<int> from_left_;
   std::vector<int> from_right_;
 };
@@ -402,6 +519,27 @@ class MapOp : public PhysOperator {
     ++rows_produced_;
     return true;
   }
+  Result<bool> NextBatch(RowBatch* batch) override {
+    VODAK_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&child_batch_));
+    if (!more) return false;
+    const size_t n = child_batch_.num_rows();
+    BatchEnv env{&child_->refs(), &child_batch_.columns(), n};
+    VODAK_ASSIGN_OR_RETURN(ValueColumn computed,
+                           evaluator_.EvalBatch(expr_, env));
+    batch->Reset(refs_.size());
+    for (size_t c = 0; c < refs_.size(); ++c) {
+      if (static_cast<int>(c) == out_index_) {
+        batch->column(c) = std::move(computed);
+      } else if (child_index_[c] >= 0) {
+        batch->column(c) = std::move(child_batch_.column(child_index_[c]));
+      } else {
+        batch->column(c).assign(n, Value::Null());
+      }
+    }
+    batch->set_num_rows(n);
+    rows_produced_ += n;
+    return true;
+  }
   void Close() override { child_->Close(); }
   std::string name() const override { return "Map"; }
   std::string params() const override {
@@ -418,6 +556,7 @@ class MapOp : public PhysOperator {
   ExprRef expr_;
   int out_index_ = -1;
   std::vector<int> child_index_;
+  RowBatch child_batch_;
 };
 
 /// Physical flat<ref, expr>: one output row per element of the
@@ -470,6 +609,44 @@ class FlatOp : public PhysOperator {
       elem_pos_ = 0;
     }
   }
+  Result<bool> NextBatch(RowBatch* batch) override {
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&child_batch_));
+      if (!more) return false;
+      const size_t n = child_batch_.num_rows();
+      BatchEnv env{&child_->refs(), &child_batch_.columns(), n};
+      VODAK_ASSIGN_OR_RETURN(ValueColumn sets,
+                             evaluator_.EvalBatch(expr_, env));
+      batch->Reset(refs_.size());
+      size_t out_rows = 0;
+      for (size_t r = 0; r < n; ++r) {
+        if (sets[r].is_null()) continue;
+        if (!sets[r].is_set()) {
+          return Status::ExecError(
+              "flat expression evaluated to non-set " +
+              sets[r].ToString());
+        }
+        for (const Value& elem : sets[r].AsSet()) {
+          for (size_t c = 0; c < refs_.size(); ++c) {
+            if (static_cast<int>(c) == out_index_) {
+              batch->column(c).push_back(elem);
+            } else if (child_index_[c] >= 0) {
+              batch->column(c).push_back(
+                  child_batch_.column(child_index_[c])[r]);
+            } else {
+              batch->column(c).push_back(Value::Null());
+            }
+          }
+          ++out_rows;
+        }
+      }
+      if (out_rows > 0) {
+        batch->set_num_rows(out_rows);
+        rows_produced_ += out_rows;
+        return true;
+      }
+    }
+  }
   void Close() override { child_->Close(); }
   std::string name() const override { return "Flatten"; }
   std::string params() const override {
@@ -489,6 +666,7 @@ class FlatOp : public PhysOperator {
   Row child_row_;
   ValueSet elements_;
   size_t elem_pos_ = 0;
+  RowBatch child_batch_;
 };
 
 /// Physical project with set-semantics duplicate elimination.
@@ -520,6 +698,29 @@ class ProjectDedup : public PhysOperator {
       }
     }
   }
+  Result<bool> NextBatch(RowBatch* batch) override {
+    Row projected;
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&child_batch_));
+      if (!more) return false;
+      batch->Reset(refs_.size());
+      size_t out_rows = 0;
+      for (size_t r = 0; r < child_batch_.num_rows(); ++r) {
+        projected.resize(refs_.size());
+        for (size_t c = 0; c < refs_.size(); ++c) {
+          projected[c] = child_batch_.column(child_index_[c])[r];
+        }
+        if (seen_.insert(projected).second) {
+          batch->AppendRow(projected);
+          ++out_rows;
+        }
+      }
+      if (out_rows > 0) {
+        rows_produced_ += out_rows;
+        return true;
+      }
+    }
+  }
   void Close() override {
     child_->Close();
     seen_.clear();
@@ -534,6 +735,7 @@ class ProjectDedup : public PhysOperator {
   PhysOpPtr child_;
   std::vector<int> child_index_;
   std::unordered_set<Row, RowHash, RowEq> seen_;
+  RowBatch child_batch_;
 };
 
 /// union / diff with set semantics (right side materialized).
@@ -718,25 +920,43 @@ Result<PhysOpPtr> BuildPhysical(const LogicalRef& plan,
   return Status::Internal("unreachable logical op in plan builder");
 }
 
-Result<Value> ExecuteToSet(PhysOperator* root) {
+Result<Value> ExecuteToSet(PhysOperator* root, ExecMode mode) {
   VODAK_RETURN_IF_ERROR(root->Open());
   std::vector<Value> tuples;
-  Row row;
-  for (;;) {
-    VODAK_ASSIGN_OR_RETURN(bool more, root->Next(&row));
-    if (!more) break;
-    ValueTuple fields;
-    fields.reserve(root->refs().size());
-    for (size_t i = 0; i < root->refs().size(); ++i) {
-      fields.emplace_back(root->refs()[i], row[i]);
+  const std::vector<std::string>& refs = root->refs();
+  if (mode == ExecMode::kRow) {
+    Row row;
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, root->Next(&row));
+      if (!more) break;
+      ValueTuple fields;
+      fields.reserve(refs.size());
+      for (size_t i = 0; i < refs.size(); ++i) {
+        fields.emplace_back(refs[i], row[i]);
+      }
+      tuples.push_back(Value::Tuple(std::move(fields)));
     }
-    tuples.push_back(Value::Tuple(std::move(fields)));
+  } else {
+    RowBatch batch;
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, root->NextBatch(&batch));
+      if (!more) break;
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        ValueTuple fields;
+        fields.reserve(refs.size());
+        for (size_t c = 0; c < refs.size(); ++c) {
+          fields.emplace_back(refs[c], batch.column(c)[r]);
+        }
+        tuples.push_back(Value::Tuple(std::move(fields)));
+      }
+    }
   }
   root->Close();
   return Value::Set(std::move(tuples));
 }
 
-Result<Value> ExecuteColumn(PhysOperator* root, const std::string& ref) {
+Result<Value> ExecuteColumn(PhysOperator* root, const std::string& ref,
+                            ExecMode mode) {
   int index = root->RefIndex(ref);
   if (index < 0) {
     return Status::PlanError("result reference '" + ref +
@@ -744,11 +964,23 @@ Result<Value> ExecuteColumn(PhysOperator* root, const std::string& ref) {
   }
   VODAK_RETURN_IF_ERROR(root->Open());
   std::vector<Value> values;
-  Row row;
-  for (;;) {
-    VODAK_ASSIGN_OR_RETURN(bool more, root->Next(&row));
-    if (!more) break;
-    values.push_back(row[index]);
+  if (mode == ExecMode::kRow) {
+    Row row;
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, root->Next(&row));
+      if (!more) break;
+      values.push_back(row[index]);
+    }
+  } else {
+    RowBatch batch;
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, root->NextBatch(&batch));
+      if (!more) break;
+      auto& col = batch.column(index);
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        values.push_back(std::move(col[r]));
+      }
+    }
   }
   root->Close();
   return Value::Set(std::move(values));

@@ -6,18 +6,20 @@
 #include <vector>
 
 #include "algebra/logical.h"
+#include "exec/row_batch.h"
 #include "expr/expr_eval.h"
 
 namespace vodak {
 namespace exec {
 
-/// A physical tuple: values aligned with the operator's reference list
-/// (sorted reference names, matching the logical schema's map order).
-using Row = std::vector<Value>;
-
-/// The Volcano iterator interface (open / next / close) the paper's
-/// physical algebra assumes. Every operator carries its output reference
-/// list and basic runtime counters for the benchmark harness.
+/// The paper's physical algebra, grown from the classic Volcano
+/// open/next/close iterator into a batch-at-a-time pipeline: NextBatch
+/// moves ~kDefaultBatchSize rows per virtual call and evaluates operator
+/// parameters through the batched expression entry points, while Next
+/// remains as the row-at-a-time compatibility path. Every operator
+/// carries its output reference list and basic runtime counters for the
+/// benchmark harness. Within one Open()..Close() cycle a plan must be
+/// drained through either Next or NextBatch, not a mix of both.
 class PhysOperator {
  public:
   explicit PhysOperator(std::vector<std::string> refs)
@@ -27,6 +29,11 @@ class PhysOperator {
   virtual Status Open() = 0;
   /// Produces the next row; returns false at end of stream.
   virtual Result<bool> Next(Row* row) = 0;
+  /// Produces the next batch of rows; returns false at end of stream. A
+  /// true return means the batch holds at least one row. The default
+  /// adapter loops Next(); hot operators override it with native
+  /// column-at-a-time implementations.
+  virtual Result<bool> NextBatch(RowBatch* batch);
   virtual void Close() = 0;
 
   const std::vector<std::string>& refs() const { return refs_; }
@@ -61,11 +68,17 @@ struct ExecContext {
 Result<PhysOpPtr> BuildPhysical(const algebra::LogicalRef& plan,
                                 const ExecContext& ctx);
 
+/// How a plan is drained: batch-at-a-time (default) or the
+/// row-at-a-time compatibility path.
+enum class ExecMode { kRow, kBatch };
+
 /// Drains the operator tree into a set of tuples (the algebra's result).
-Result<Value> ExecuteToSet(PhysOperator* root);
+Result<Value> ExecuteToSet(PhysOperator* root,
+                           ExecMode mode = ExecMode::kBatch);
 
 /// Drains the tree and projects one reference, returning a value set.
-Result<Value> ExecuteColumn(PhysOperator* root, const std::string& ref);
+Result<Value> ExecuteColumn(PhysOperator* root, const std::string& ref,
+                            ExecMode mode = ExecMode::kBatch);
 
 /// Indented physical EXPLAIN with the restricted-algebra decomposition
 /// of operator parameters (§6.1): complex expressions are shown as

@@ -1,0 +1,90 @@
+#ifndef VODAK_EXEC_ROW_BATCH_H_
+#define VODAK_EXEC_ROW_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "types/value.h"
+
+namespace vodak {
+namespace exec {
+
+/// A physical tuple: values aligned with the operator's reference list
+/// (sorted reference names, matching the logical schema's map order).
+using Row = std::vector<Value>;
+
+/// Target number of rows per batch in the vectorized pipeline. Operators
+/// may emit smaller batches (filters, end of stream) or larger ones
+/// (flatten / join fan-out); a returned batch is never empty.
+constexpr size_t kDefaultBatchSize = 1024;
+
+/// Column-major batch of rows flowing through the NextBatch pipeline.
+/// Column i holds the values of reference refs()[i] for every row, so
+/// the batched expression evaluator can bind a reference to a whole
+/// column at once instead of rebuilding a per-row environment.
+class RowBatch {
+ public:
+  RowBatch() = default;
+
+  /// Drops all rows and resizes to `num_columns` empty columns.
+  void Reset(size_t num_columns) {
+    columns_.resize(num_columns);
+    for (auto& col : columns_) col.clear();
+    num_rows_ = 0;
+  }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  bool empty() const { return num_rows_ == 0; }
+
+  std::vector<Value>& column(size_t i) { return columns_[i]; }
+  const std::vector<Value>& column(size_t i) const { return columns_[i]; }
+  std::vector<std::vector<Value>>& columns() { return columns_; }
+  const std::vector<std::vector<Value>>& columns() const {
+    return columns_;
+  }
+
+  /// After writing columns directly, records the row count. All columns
+  /// must hold exactly `n` values.
+  void set_num_rows(size_t n) { num_rows_ = n; }
+
+  void AppendRow(const Row& row) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      columns_[i].push_back(row[i]);
+    }
+    ++num_rows_;
+  }
+
+  /// Copies row `i` into `row` (resized to num_columns).
+  void CopyRowTo(size_t i, Row* row) const {
+    row->resize(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      (*row)[c] = columns_[c][i];
+    }
+  }
+
+  /// Keeps exactly the rows with keep[i] != 0, preserving order; returns
+  /// the surviving row count.
+  size_t CompactRows(const std::vector<char>& keep) {
+    size_t kept = 0;
+    for (size_t i = 0; i < num_rows_; ++i) {
+      if (!keep[i]) continue;
+      if (kept != i) {
+        for (auto& col : columns_) col[kept] = std::move(col[i]);
+      }
+      ++kept;
+    }
+    for (auto& col : columns_) col.resize(kept);
+    num_rows_ = kept;
+    return kept;
+  }
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<std::vector<Value>> columns_;
+};
+
+}  // namespace exec
+}  // namespace vodak
+
+#endif  // VODAK_EXEC_ROW_BATCH_H_

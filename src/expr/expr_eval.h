@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "expr/expr.h"
 #include "methods/method_registry.h"
@@ -11,6 +12,24 @@ namespace vodak {
 
 /// Variable bindings for one evaluation (query variable -> value).
 using Env = std::map<std::string, Value>;
+
+/// One value per row of a batch; the unit of batched evaluation.
+using ValueColumn = std::vector<Value>;
+
+/// Batch variable bindings: a non-owning view mapping reference names to
+/// value columns of a common length. names and columns are parallel.
+struct BatchEnv {
+  const std::vector<std::string>* names = nullptr;
+  const std::vector<ValueColumn>* columns = nullptr;
+  size_t num_rows = 0;
+
+  const ValueColumn* Find(const std::string& name) const {
+    for (size_t i = 0; i < names->size(); ++i) {
+      if ((*names)[i] == name) return &(*columns)[i];
+    }
+    return nullptr;
+  }
+};
 
 /// Evaluates expressions against the database. This single definition of
 /// expression semantics is shared by the naive VQL interpreter (the
@@ -32,6 +51,20 @@ class ExprEvaluator {
   /// Evaluates a condition to a boolean (error if non-boolean result).
   Result<bool> EvalPredicate(const ExprRef& e, const Env& env) const;
 
+  /// Batched evaluation: one result value per row of `env`. Semantically
+  /// identical to calling Eval row by row (AND/OR keep their per-row
+  /// short-circuit via masked evaluation of the right operand), but
+  /// amortizes environment setup and property-slot resolution across the
+  /// batch. This is the entry point the vectorized physical operators
+  /// and the batched naive evaluators share.
+  Result<ValueColumn> EvalBatch(const ExprRef& e,
+                                const BatchEnv& env) const;
+
+  /// Batched EvalPredicate: keep[i] records whether row i satisfies the
+  /// condition (NIL counts as FALSE). `keep` is resized to env.num_rows.
+  Status EvalPredicateBatch(const ExprRef& e, const BatchEnv& env,
+                            std::vector<char>* keep) const;
+
   const Catalog* catalog() const { return catalog_; }
   ObjectStore* store() const { return store_; }
   MethodRegistry* methods() const { return methods_; }
@@ -47,6 +80,17 @@ class ExprEvaluator {
                              const std::string& prop) const;
   Result<Value> EvalMethod(const Value& base, const std::string& method,
                            const std::vector<Value>& args) const;
+
+  /// Column-wise property access with the (class, property) -> slot
+  /// resolution cached across consecutive rows of the same class.
+  Result<ValueColumn> EvalPropertyColumn(const ValueColumn& base,
+                                         const std::string& prop) const;
+
+  /// Resolves a batch operand to a column: bare variables borrow the
+  /// environment's column (no batch-sized copy); anything else is
+  /// evaluated into `*storage` and that is returned.
+  Result<const ValueColumn*> ResolveOperandColumn(
+      const ExprRef& e, const BatchEnv& env, ValueColumn* storage) const;
 
   const Catalog* catalog_;
   ObjectStore* store_;

@@ -1,0 +1,454 @@
+// Batched (column-at-a-time) expression evaluation. Semantics are
+// defined by the row-at-a-time ExprEvaluator::Eval; this translation
+// unit only changes the evaluation *shape*: variables bind to whole
+// columns, property slots are resolved once per class instead of once
+// per row, and AND/OR evaluate their right operand under a mask so the
+// per-row short-circuit behavior (including which rows may error) is
+// preserved exactly.
+#include "expr/expr_eval.h"
+
+#include <algorithm>
+
+namespace vodak {
+
+namespace {
+
+/// Free variables of an expression, in first-occurrence order.
+void CollectVars(const ExprRef& e, std::vector<std::string>* out) {
+  switch (e->kind()) {
+    case ExprKind::kConst:
+      return;
+    case ExprKind::kVar:
+      if (std::find(out->begin(), out->end(), e->var_name()) ==
+          out->end()) {
+        out->push_back(e->var_name());
+      }
+      return;
+    case ExprKind::kProperty:
+      CollectVars(e->base(), out);
+      return;
+    case ExprKind::kMethodCall:
+      CollectVars(e->base(), out);
+      for (const auto& arg : e->args()) CollectVars(arg, out);
+      return;
+    case ExprKind::kClassMethodCall:
+      for (const auto& arg : e->args()) CollectVars(arg, out);
+      return;
+    case ExprKind::kBinary:
+      CollectVars(e->lhs(), out);
+      CollectVars(e->rhs(), out);
+      return;
+    case ExprKind::kUnary:
+      CollectVars(e->operand(), out);
+      return;
+    case ExprKind::kTupleCtor:
+      for (const auto& [name, fe] : e->fields()) CollectVars(fe, out);
+      return;
+    case ExprKind::kSetCtor:
+      for (const auto& el : e->args()) CollectVars(el, out);
+      return;
+  }
+}
+
+/// Gathers the rows of `env` selected by `mask` into owned columns, so a
+/// sub-expression can be evaluated only where it is actually needed.
+/// Only the columns bound to `needed` variables are copied; the rest of
+/// the environment is invisible to the sub-expression anyway.
+struct GatheredBatch {
+  std::vector<std::string> names;
+  std::vector<ValueColumn> columns;
+  std::vector<size_t> row_index;  // position of each gathered row in env
+
+  GatheredBatch(const BatchEnv& env, const std::vector<char>& mask,
+                const std::vector<std::string>& needed) {
+    for (size_t i = 0; i < env.num_rows; ++i) {
+      if (mask[i]) row_index.push_back(i);
+    }
+    for (size_t c = 0; c < env.names->size(); ++c) {
+      if (std::find(needed.begin(), needed.end(), (*env.names)[c]) ==
+          needed.end()) {
+        continue;
+      }
+      names.push_back((*env.names)[c]);
+      ValueColumn col;
+      col.reserve(row_index.size());
+      for (size_t i : row_index) col.push_back((*env.columns)[c][i]);
+      columns.push_back(std::move(col));
+    }
+  }
+
+  BatchEnv View() const {
+    return BatchEnv{&names, &columns, row_index.size()};
+  }
+};
+
+Status NonBooleanConnective(const Value& v) {
+  return Status::TypeError("boolean connective on non-boolean " +
+                           v.ToString());
+}
+
+}  // namespace
+
+Result<const ValueColumn*> ExprEvaluator::ResolveOperandColumn(
+    const ExprRef& e, const BatchEnv& env, ValueColumn* storage) const {
+  if (e->kind() == ExprKind::kVar) {
+    const ValueColumn* col = env.Find(e->var_name());
+    if (col == nullptr) {
+      return Status::BindError("unbound variable '" + e->var_name() +
+                               "'");
+    }
+    return col;
+  }
+  VODAK_ASSIGN_OR_RETURN(*storage, EvalBatch(e, env));
+  return static_cast<const ValueColumn*>(storage);
+}
+
+Result<ValueColumn> ExprEvaluator::EvalPropertyColumn(
+    const ValueColumn& base, const std::string& prop) const {
+  ValueColumn out;
+  out.reserve(base.size());
+  // Consecutive oids of the same class are read as one store column:
+  // the name -> slot resolution and the store-side class/slot checks
+  // happen once per run instead of once per row.
+  std::vector<uint32_t> run;
+  uint32_t run_class = 0;
+  const PropertyDef* run_prop = nullptr;
+  auto flush_run = [&]() -> Status {
+    if (run.empty()) return Status::OK();
+    VODAK_RETURN_IF_ERROR(
+        store_->GetPropertyColumn(run_class, run_prop->slot, run, &out));
+    run.clear();
+    return Status::OK();
+  };
+  for (const Value& v : base) {
+    if (v.is_oid() && !v.AsOid().IsNull()) {
+      Oid oid = v.AsOid();
+      if (run_prop == nullptr || oid.class_id != run_class) {
+        VODAK_RETURN_IF_ERROR(flush_run());
+        const ClassDef* cls = catalog_->FindClassById(oid.class_id);
+        if (cls == nullptr) {
+          return Status::NotFound("oid " + oid.ToString() +
+                                  " refers to unknown class");
+        }
+        run_prop = cls->FindProperty(prop);
+        if (run_prop == nullptr) {
+          return Status::NotFound("class '" + cls->name() +
+                                  "' has no property '" + prop + "'");
+        }
+        run_class = oid.class_id;
+      }
+      run.push_back(oid.local);
+    } else {
+      VODAK_RETURN_IF_ERROR(flush_run());
+      VODAK_ASSIGN_OR_RETURN(Value pv, EvalProperty(v, prop));
+      out.push_back(std::move(pv));
+    }
+  }
+  VODAK_RETURN_IF_ERROR(flush_run());
+  return out;
+}
+
+Result<ValueColumn> ExprEvaluator::EvalBatch(const ExprRef& e,
+                                             const BatchEnv& env) const {
+  const size_t n = env.num_rows;
+  switch (e->kind()) {
+    case ExprKind::kConst:
+      return ValueColumn(n, e->value());
+    case ExprKind::kVar: {
+      const ValueColumn* col = env.Find(e->var_name());
+      if (col == nullptr) {
+        return Status::BindError("unbound variable '" + e->var_name() +
+                                 "'");
+      }
+      return *col;
+    }
+    case ExprKind::kProperty: {
+      // Variable bases read the bound column in place, skipping a
+      // batch-sized copy on the commonest access shape (`p.prop`).
+      if (e->base()->kind() == ExprKind::kVar) {
+        const ValueColumn* col = env.Find(e->base()->var_name());
+        if (col == nullptr) {
+          return Status::BindError("unbound variable '" +
+                                   e->base()->var_name() + "'");
+        }
+        return EvalPropertyColumn(*col, e->name());
+      }
+      VODAK_ASSIGN_OR_RETURN(ValueColumn base, EvalBatch(e->base(), env));
+      return EvalPropertyColumn(base, e->name());
+    }
+    case ExprKind::kMethodCall: {
+      VODAK_ASSIGN_OR_RETURN(ValueColumn base, EvalBatch(e->base(), env));
+      std::vector<ValueColumn> arg_cols;
+      arg_cols.reserve(e->args().size());
+      for (const auto& arg : e->args()) {
+        VODAK_ASSIGN_OR_RETURN(ValueColumn col, EvalBatch(arg, env));
+        arg_cols.push_back(std::move(col));
+      }
+      ValueColumn out;
+      out.reserve(n);
+      std::vector<Value> args(arg_cols.size());
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t a = 0; a < arg_cols.size(); ++a) {
+          args[a] = arg_cols[a][i];
+        }
+        VODAK_ASSIGN_OR_RETURN(Value v,
+                               EvalMethod(base[i], e->method(), args));
+        out.push_back(std::move(v));
+      }
+      return out;
+    }
+    case ExprKind::kClassMethodCall: {
+      std::vector<ValueColumn> arg_cols;
+      arg_cols.reserve(e->args().size());
+      for (const auto& arg : e->args()) {
+        VODAK_ASSIGN_OR_RETURN(ValueColumn col, EvalBatch(arg, env));
+        arg_cols.push_back(std::move(col));
+      }
+      ValueColumn out;
+      out.reserve(n);
+      std::vector<Value> args(arg_cols.size());
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t a = 0; a < arg_cols.size(); ++a) {
+          args[a] = arg_cols[a][i];
+        }
+        MethodCallContext ctx{catalog_, store_, methods_, 0};
+        VODAK_ASSIGN_OR_RETURN(
+            Value v, methods_->InvokeClass(ctx, e->name(), e->method(),
+                                           args));
+        out.push_back(std::move(v));
+      }
+      return out;
+    }
+    case ExprKind::kBinary: {
+      if (e->bin_op() == BinOp::kAnd || e->bin_op() == BinOp::kOr) {
+        const bool is_and = e->bin_op() == BinOp::kAnd;
+        VODAK_ASSIGN_OR_RETURN(ValueColumn lhs, EvalBatch(e->lhs(), env));
+        // Rows whose left operand decides the connective keep the
+        // short-circuit result; only the undecided rows may evaluate
+        // (and thus may error on) the right operand.
+        std::vector<char> need_rhs(n, 0);
+        size_t pending = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (!lhs[i].is_bool()) return NonBooleanConnective(lhs[i]);
+          if (lhs[i].AsBool() == is_and) {
+            need_rhs[i] = 1;
+            ++pending;
+          }
+        }
+        ValueColumn out = std::move(lhs);
+        if (pending == 0) return out;
+        if (pending == n) {
+          // Every row needs the right operand: evaluate it against the
+          // full environment, skipping the gather copy entirely.
+          VODAK_ASSIGN_OR_RETURN(ValueColumn rhs,
+                                 EvalBatch(e->rhs(), env));
+          for (size_t i = 0; i < n; ++i) {
+            if (!rhs[i].is_bool()) return NonBooleanConnective(rhs[i]);
+            out[i] = rhs[i];
+          }
+          return out;
+        }
+        std::vector<std::string> rhs_vars;
+        CollectVars(e->rhs(), &rhs_vars);
+        GatheredBatch gathered(env, need_rhs, rhs_vars);
+        VODAK_ASSIGN_OR_RETURN(ValueColumn rhs,
+                               EvalBatch(e->rhs(), gathered.View()));
+        for (size_t g = 0; g < rhs.size(); ++g) {
+          if (!rhs[g].is_bool()) return NonBooleanConnective(rhs[g]);
+          out[gathered.row_index[g]] = rhs[g];
+        }
+        return out;
+      }
+      // Constant operands apply as scalars instead of materializing a
+      // batch-sized constant column (`p.number >= 1` is the hot shape),
+      // and bare-variable operands borrow the bound column in place.
+      if (e->rhs()->kind() == ExprKind::kConst) {
+        ValueColumn storage;
+        VODAK_ASSIGN_OR_RETURN(const ValueColumn* lhs,
+                               ResolveOperandColumn(e->lhs(), env,
+                                                    &storage));
+        const Value& rhs = e->rhs()->value();
+        ValueColumn out;
+        out.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          VODAK_ASSIGN_OR_RETURN(
+              Value v, ApplyBinary(e->bin_op(), (*lhs)[i], rhs));
+          out.push_back(std::move(v));
+        }
+        return out;
+      }
+      if (e->lhs()->kind() == ExprKind::kConst) {
+        const Value& lhs = e->lhs()->value();
+        ValueColumn storage;
+        VODAK_ASSIGN_OR_RETURN(const ValueColumn* rhs,
+                               ResolveOperandColumn(e->rhs(), env,
+                                                    &storage));
+        ValueColumn out;
+        out.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          VODAK_ASSIGN_OR_RETURN(
+              Value v, ApplyBinary(e->bin_op(), lhs, (*rhs)[i]));
+          out.push_back(std::move(v));
+        }
+        return out;
+      }
+      ValueColumn lhs_storage;
+      ValueColumn rhs_storage;
+      VODAK_ASSIGN_OR_RETURN(const ValueColumn* lhs,
+                             ResolveOperandColumn(e->lhs(), env,
+                                                  &lhs_storage));
+      VODAK_ASSIGN_OR_RETURN(const ValueColumn* rhs,
+                             ResolveOperandColumn(e->rhs(), env,
+                                                  &rhs_storage));
+      ValueColumn out;
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        VODAK_ASSIGN_OR_RETURN(
+            Value v, ApplyBinary(e->bin_op(), (*lhs)[i], (*rhs)[i]));
+        out.push_back(std::move(v));
+      }
+      return out;
+    }
+    case ExprKind::kUnary: {
+      VODAK_ASSIGN_OR_RETURN(ValueColumn operand,
+                             EvalBatch(e->operand(), env));
+      ValueColumn out;
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = operand[i];
+        if (e->un_op() == UnOp::kNot) {
+          if (!v.is_bool()) {
+            return Status::TypeError("NOT on non-boolean " + v.ToString());
+          }
+          out.push_back(Value::Bool(!v.AsBool()));
+        } else if (v.is_int()) {
+          out.push_back(Value::Int(-v.AsInt()));
+        } else if (v.is_real()) {
+          out.push_back(Value::Real(-v.AsReal()));
+        } else {
+          return Status::TypeError("negation of non-numeric " +
+                                   v.ToString());
+        }
+      }
+      return out;
+    }
+    case ExprKind::kTupleCtor: {
+      std::vector<ValueColumn> field_cols;
+      field_cols.reserve(e->fields().size());
+      for (const auto& [name, fe] : e->fields()) {
+        VODAK_ASSIGN_OR_RETURN(ValueColumn col, EvalBatch(fe, env));
+        field_cols.push_back(std::move(col));
+      }
+      ValueColumn out;
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        ValueTuple fields;
+        fields.reserve(field_cols.size());
+        for (size_t f = 0; f < field_cols.size(); ++f) {
+          fields.emplace_back(e->fields()[f].first, field_cols[f][i]);
+        }
+        out.push_back(Value::Tuple(std::move(fields)));
+      }
+      return out;
+    }
+    case ExprKind::kSetCtor: {
+      std::vector<ValueColumn> elem_cols;
+      elem_cols.reserve(e->args().size());
+      for (const auto& el : e->args()) {
+        VODAK_ASSIGN_OR_RETURN(ValueColumn col, EvalBatch(el, env));
+        elem_cols.push_back(std::move(col));
+      }
+      ValueColumn out;
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<Value> elems;
+        elems.reserve(elem_cols.size());
+        for (const auto& col : elem_cols) elems.push_back(col[i]);
+        out.push_back(Value::Set(std::move(elems)));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+namespace {
+
+/// The six total-order comparisons. Deliberately narrower than
+/// IsComparisonOp, which also covers IS-IN / IS-SUBSET — those have
+/// set-membership semantics (and can error), not Compare semantics.
+bool IsOrderingOp(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool CompareHolds(BinOp op, const Value& lhs, const Value& rhs) {
+  int c = Value::Compare(lhs, rhs);
+  switch (op) {
+    case BinOp::kEq:
+      return c == 0;
+    case BinOp::kNe:
+      return c != 0;
+    case BinOp::kLt:
+      return c < 0;
+    case BinOp::kLe:
+      return c <= 0;
+    case BinOp::kGt:
+      return c > 0;
+    default:
+      return c >= 0;  // kGe
+  }
+}
+
+}  // namespace
+
+Status ExprEvaluator::EvalPredicateBatch(const ExprRef& e,
+                                         const BatchEnv& env,
+                                         std::vector<char>* keep) const {
+  // Fused fast path for `<expr> <cmp> <const>` selections: compare the
+  // evaluated column against the scalar directly instead of
+  // materializing a boolean column. Ordering comparisons are total
+  // (ApplyBinary never errors on them), so semantics are unchanged.
+  if (e->kind() == ExprKind::kBinary && IsOrderingOp(e->bin_op()) &&
+      (e->lhs()->kind() == ExprKind::kConst ||
+       e->rhs()->kind() == ExprKind::kConst)) {
+    const bool const_lhs = e->lhs()->kind() == ExprKind::kConst;
+    const Value& scalar =
+        const_lhs ? e->lhs()->value() : e->rhs()->value();
+    ValueColumn storage;
+    VODAK_ASSIGN_OR_RETURN(
+        const ValueColumn* col,
+        ResolveOperandColumn(const_lhs ? e->rhs() : e->lhs(), env,
+                             &storage));
+    keep->resize(env.num_rows);
+    for (size_t i = 0; i < env.num_rows; ++i) {
+      (*keep)[i] = const_lhs
+                       ? CompareHolds(e->bin_op(), scalar, (*col)[i])
+                       : CompareHolds(e->bin_op(), (*col)[i], scalar);
+    }
+    return Status::OK();
+  }
+  VODAK_ASSIGN_OR_RETURN(ValueColumn vals, EvalBatch(e, env));
+  keep->assign(env.num_rows, 0);
+  for (size_t i = 0; i < env.num_rows; ++i) {
+    const Value& v = vals[i];
+    if (v.is_null()) continue;  // NIL predicate result counts as FALSE
+    if (!v.is_bool()) {
+      return Status::TypeError("condition evaluated to non-boolean " +
+                               v.ToString());
+    }
+    (*keep)[i] = v.AsBool();
+  }
+  return Status::OK();
+}
+
+}  // namespace vodak

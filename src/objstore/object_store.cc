@@ -76,6 +76,31 @@ Result<Value> ObjectStore::GetProperty(Oid oid, uint32_t slot) const {
   return classes_[oid.class_id - 1].instances[oid.local - 1].slots[slot];
 }
 
+Status ObjectStore::GetPropertyColumn(uint32_t class_id, uint32_t slot,
+                                      const std::vector<uint32_t>& locals,
+                                      std::vector<Value>* out) const {
+  const ClassStorage* cls = FindClass(class_id);
+  if (cls == nullptr) {
+    return Status::NotFound("get: unknown class id " +
+                            std::to_string(class_id));
+  }
+  if (slot >= cls->slot_count) {
+    return Status::InvalidArgument(
+        "get: slot " + std::to_string(slot) +
+        " out of range for class '" + cls->debug_name + "'");
+  }
+  for (uint32_t local : locals) {
+    if (local == 0 || local > cls->instances.size() ||
+        !cls->instances[local - 1].live) {
+      return Status::NotFound("get: dangling oid " +
+                              Oid(class_id, local).ToString());
+    }
+    ++stats_.property_reads;  // counted per object, like GetProperty
+    out->push_back(cls->instances[local - 1].slots[slot]);
+  }
+  return Status::OK();
+}
+
 Status ObjectStore::SetProperty(Oid oid, uint32_t slot, Value value) {
   VODAK_RETURN_IF_ERROR(CheckOid(oid, slot, "set"));
   ++stats_.property_writes;

@@ -56,6 +56,15 @@ class ObjectStore {
   Result<Value> GetProperty(Oid oid, uint32_t slot) const;
   Status SetProperty(Oid oid, uint32_t slot, Value value);
 
+  /// Batched property read for the vectorized executor: appends the
+  /// value of `slot` for instance `local` of `class_id`, for every local
+  /// in `locals`, to `out` (in order). Resolves the class storage and
+  /// checks the slot once for the whole column instead of once per
+  /// object. Counts locals.size() property reads.
+  Status GetPropertyColumn(uint32_t class_id, uint32_t slot,
+                           const std::vector<uint32_t>& locals,
+                           std::vector<Value>* out) const;
+
   /// Live instances of a class, in creation order. Counts as one extent
   /// scan in the stats.
   Result<std::vector<Oid>> Extent(uint32_t class_id) const;

@@ -3,18 +3,6 @@
 namespace vodak {
 namespace vql {
 
-namespace {
-
-/// Element type of a set type (Any for untyped sets).
-TypeRef ElementOf(const TypeRef& t) {
-  if (t->kind() == TypeKind::kSet || t->kind() == TypeKind::kArray) {
-    return t->element();
-  }
-  return Type::Any();
-}
-
-}  // namespace
-
 Result<TypeRef> Binder::CheckMethodSig(
     const ClassDef& cls, const MethodSig& sig,
     const std::vector<TypeRef>& arg_types,

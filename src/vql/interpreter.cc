@@ -3,17 +3,38 @@
 namespace vodak {
 namespace vql {
 
+Status Interpreter::Flush(const BoundQuery& query, Pending* pending,
+                          std::vector<Value>* out) const {
+  exec::RowBatch& batch = pending->batch;
+  if (batch.empty()) return Status::OK();
+  BatchEnv env{&pending->names, &batch.columns(), batch.num_rows()};
+  if (query.where != nullptr) {
+    std::vector<char> keep;
+    VODAK_RETURN_IF_ERROR(
+        evaluator_.EvalPredicateBatch(query.where, env, &keep));
+    env.num_rows = batch.CompactRows(keep);
+  }
+  if (env.num_rows > 0) {
+    VODAK_ASSIGN_OR_RETURN(ValueColumn values,
+                           evaluator_.EvalBatch(query.access, env));
+    for (Value& v : values) out->push_back(std::move(v));
+  }
+  batch.Reset(pending->names.size());
+  return Status::OK();
+}
+
 Status Interpreter::RunRanges(const BoundQuery& query, size_t index,
-                              Env* env, std::vector<Value>* out) const {
+                              Env* env, Pending* pending,
+                              std::vector<Value>* out) const {
   if (index == query.from.size()) {
-    if (query.where != nullptr) {
-      auto pred = evaluator_.EvalPredicate(query.where, *env);
-      if (!pred.ok()) return pred.status();
-      if (!pred.value()) return Status::OK();
+    exec::RowBatch& batch = pending->batch;
+    for (size_t i = 0; i < pending->names.size(); ++i) {
+      batch.column(i).push_back(env->at(pending->names[i]));
     }
-    auto value = evaluator_.Eval(query.access, *env);
-    if (!value.ok()) return value.status();
-    out->push_back(std::move(value).value());
+    batch.set_num_rows(batch.num_rows() + 1);
+    if (batch.num_rows() >= exec::kDefaultBatchSize) {
+      return Flush(query, pending, out);
+    }
     return Status::OK();
   }
 
@@ -27,7 +48,7 @@ Status Interpreter::RunRanges(const BoundQuery& query, size_t index,
     if (!extent.ok()) return extent.status();
     for (Oid oid : extent.value()) {
       (*env)[range.var] = Value::OfOid(oid);
-      VODAK_RETURN_IF_ERROR(RunRanges(query, index + 1, env, out));
+      VODAK_RETURN_IF_ERROR(RunRanges(query, index + 1, env, pending, out));
     }
     env->erase(range.var);
     return Status::OK();
@@ -43,7 +64,7 @@ Status Interpreter::RunRanges(const BoundQuery& query, size_t index,
   }
   for (const Value& member : domain.value().AsSet()) {
     (*env)[range.var] = member;
-    VODAK_RETURN_IF_ERROR(RunRanges(query, index + 1, env, out));
+    VODAK_RETURN_IF_ERROR(RunRanges(query, index + 1, env, pending, out));
   }
   env->erase(range.var);
   return Status::OK();
@@ -52,7 +73,14 @@ Status Interpreter::RunRanges(const BoundQuery& query, size_t index,
 Result<Value> Interpreter::Run(const BoundQuery& query) const {
   std::vector<Value> results;
   Env env;
-  VODAK_RETURN_IF_ERROR(RunRanges(query, 0, &env, &results));
+  Pending pending;
+  pending.names.reserve(query.from.size());
+  for (const BoundRange& range : query.from) {
+    pending.names.push_back(range.var);
+  }
+  pending.batch.Reset(pending.names.size());
+  VODAK_RETURN_IF_ERROR(RunRanges(query, 0, &env, &pending, &results));
+  VODAK_RETURN_IF_ERROR(Flush(query, &pending, &results));
   return Value::Set(std::move(results));
 }
 

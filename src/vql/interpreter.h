@@ -2,6 +2,7 @@
 #define VODAK_VQL_INTERPRETER_H_
 
 #include "common/result.h"
+#include "exec/row_batch.h"
 #include "expr/expr_eval.h"
 #include "vql/ast.h"
 
@@ -10,7 +11,10 @@ namespace vql {
 
 /// Reference evaluator (DESIGN.md S9): straightforward nested-loop
 /// evaluation of a bound query, no optimization whatsoever. Ranges are
-/// iterated left to right so dependent ranges see earlier bindings.
+/// iterated left to right so dependent ranges see earlier bindings; the
+/// terminal WHERE / ACCESS evaluation is driven through the batched
+/// expression entry points, buffering complete bindings and flushing
+/// them a batch at a time.
 ///
 /// The interpreter defines the *meaning* of a VQL query; every optimized
 /// plan must return exactly the set this returns. The integration and
@@ -28,8 +32,16 @@ class Interpreter {
   const ExprEvaluator& evaluator() const { return evaluator_; }
 
  private:
+  /// Buffered complete range bindings awaiting batched evaluation.
+  struct Pending {
+    std::vector<std::string> names;  // range variables, binding order
+    exec::RowBatch batch;            // one column per name
+  };
+
   Status RunRanges(const BoundQuery& query, size_t index, Env* env,
-                   std::vector<Value>* out) const;
+                   Pending* pending, std::vector<Value>* out) const;
+  Status Flush(const BoundQuery& query, Pending* pending,
+               std::vector<Value>* out) const;
 
   ExprEvaluator evaluator_;
 };

@@ -88,7 +88,9 @@ TEST(ValueTest, CompareAcrossKindsIsTotalOrder) {
       int c1 = Value::Compare(vals[i], vals[j]);
       int c2 = Value::Compare(vals[j], vals[i]);
       EXPECT_EQ(c1, -c2) << i << " vs " << j;
-      if (i == j) EXPECT_EQ(c1, 0);
+      if (i == j) {
+        EXPECT_EQ(c1, 0);
+      }
     }
   }
 }
