@@ -1,21 +1,29 @@
-// Experiment X7: batch-at-a-time vs tuple-at-a-time physical execution.
-// Drives the same scan+select plan (extent scan over ~100k Paragraph
-// objects, predicate on a stored property) through the row pipeline
-// (Next) and the vectorized pipeline (NextBatch) and reports throughput
-// and the batch/row speedup. The acceptance bar for the vectorized
-// executor is a >= 2x speedup on this workload.
+// Experiment X7: batch-at-a-time vs tuple-at-a-time physical execution,
+// extended with the morsel-driven parallel pipeline (X7b). Drives the
+// same scan+select plan (extent scan over ~100k Paragraph objects,
+// predicate on a stored property) through the row pipeline (Next), the
+// vectorized pipeline (NextBatch) and the parallel driver at a sweep of
+// thread counts, and reports throughput plus the batch/row and
+// parallel/serial speedups. Acceptance bars: >= 2x for batch over row,
+// and >= 2x at threads=4 over threads=1 (on hardware with >= 4 cores;
+// the JSON records hardware_concurrency so single-core CI runs are
+// interpretable).
 //
-// Flags: --docs=N  corpus size in documents (default 8350 -> ~100k
-//                  paragraphs with 3 sections x 4 paragraphs each)
-//        --reps=N  timed repetitions per mode (default 5)
+// Flags: --docs=N    corpus size in documents (default 8350 -> ~100k
+//                    paragraphs with 3 sections x 4 paragraphs each)
+//        --reps=N    timed repetitions per mode (default 5)
+//        --json=PATH machine-readable results for the perf trajectory
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "algebra/translate.h"
 #include "bench_util.h"
+#include "exec/parallel.h"
 #include "exec/physical.h"
 #include "vql/parser.h"
 
@@ -83,18 +91,46 @@ std::pair<double, size_t> RunOnce(const PlanFixture& fixture,
   return {MsSince(start), rows};
 }
 
+/// One timed drain through the morsel-driven parallel driver (threads=1
+/// degenerates to the serial batch pipeline inside the driver).
+std::pair<double, size_t> RunParallelOnce(const PlanFixture& fixture,
+                                          size_t threads,
+                                          exec::WorkerPool* pool) {
+  exec::ParallelOptions options;
+  options.threads = threads;
+  options.pool = pool;
+  auto start = std::chrono::steady_clock::now();
+  auto rows = exec::ParallelDrainRows(fixture.plan, fixture.exec_ctx,
+                                      options);
+  double ms = MsSince(start);
+  VODAK_CHECK(rows.ok()) << rows.status().ToString();
+  return {ms, rows.value().size()};
+}
+
+struct ParallelPoint {
+  size_t threads = 0;
+  double ms = 0.0;
+  double mrows_per_s = 0.0;
+  double speedup_vs_threads1 = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint32_t docs = 8350;
   int reps = 5;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--docs=", 7) == 0) {
       docs = static_cast<uint32_t>(std::atoi(argv[i] + 7));
     } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
       reps = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else {
-      std::fprintf(stderr, "usage: %s [--docs=N] [--reps=N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--docs=N] [--reps=N] [--json=PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -144,5 +180,80 @@ int main(int argc, char** argv) {
   std::printf("batch-at-a-time (NextBatch): %8.2f ms  %6.2f Mrows/s\n",
               batch_ms, batch_mrows);
   std::printf("batch_vs_row_speedup: %.2fx\n", row_ms / batch_ms);
+
+  // Morsel-driven parallel sweep. One pool sized for the largest sweep
+  // point, reused across thread counts (ParallelRun claims only as many
+  // lanes as there are worker drains).
+  const std::vector<size_t> sweep = {1, 2, 4, 8};
+  exec::WorkerPool pool(sweep.back());
+  std::vector<ParallelPoint> points;
+  double t1_ms = 0.0;
+  for (size_t threads : sweep) {
+    auto warm = RunParallelOnce(fixture, threads, &pool);
+    VODAK_CHECK(warm.second == warm_row.second)
+        << "parallel cardinality mismatch at threads=" << threads
+        << ": " << warm.second << " vs " << warm_row.second;
+    double ms = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      ms += RunParallelOnce(fixture, threads, &pool).first;
+    }
+    ms /= reps;
+    if (threads == 1) t1_ms = ms;
+    ParallelPoint point;
+    point.threads = threads;
+    point.ms = ms;
+    point.mrows_per_s = num_paragraphs / ms / 1000.0;
+    point.speedup_vs_threads1 = t1_ms / ms;
+    points.push_back(point);
+    std::printf(
+        "parallel (threads=%zu):       %8.2f ms  %6.2f Mrows/s  "
+        "%5.2fx vs threads=1\n",
+        threads, point.ms, point.mrows_per_s,
+        point.speedup_vs_threads1);
+  }
+  double speedup_t4 = 0.0;
+  for (const ParallelPoint& p : points) {
+    if (p.threads == 4) speedup_t4 = p.speedup_vs_threads1;
+  }
+  std::printf("parallel_speedup_threads4: %.2fx (hardware threads: %u)\n",
+              speedup_t4, std::thread::hardware_concurrency());
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"parallel_exec\",\n");
+    std::fprintf(f, "  \"workload\": \"scan+select p.number >= 1\",\n");
+    std::fprintf(f, "  \"docs\": %u,\n", docs);
+    std::fprintf(f, "  \"paragraphs\": %zu,\n", num_paragraphs);
+    std::fprintf(f, "  \"hits\": %zu,\n", warm_row.second);
+    std::fprintf(f, "  \"reps\": %d,\n", reps);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"row_ms\": %.3f,\n", row_ms);
+    std::fprintf(f, "  \"batch_ms\": %.3f,\n", batch_ms);
+    std::fprintf(f, "  \"batch_vs_row_speedup\": %.3f,\n",
+                 row_ms / batch_ms);
+    std::fprintf(f, "  \"parallel\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"threads\": %zu, \"ms\": %.3f, "
+                   "\"mrows_per_s\": %.3f, "
+                   "\"speedup_vs_threads1\": %.3f}%s\n",
+                   points[i].threads, points[i].ms,
+                   points[i].mrows_per_s,
+                   points[i].speedup_vs_threads1,
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"parallel_speedup_threads4\": %.3f\n",
+                 speedup_t4);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
   return 0;
 }

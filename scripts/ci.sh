@@ -1,16 +1,49 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus a bench smoke pass, so bench binaries cannot
-# bit-rot silently. Usage: scripts/ci.sh [--skip-bench]
+# Tier-1 verify plus a bench smoke pass (so bench binaries cannot
+# bit-rot silently), with sanitizer modes that run the executor tests
+# under TSan/ASan — races in the morsel-driven worker pool must fail
+# the build, not corrupt results silently.
+#
+# Usage: scripts/ci.sh [--skip-bench] [--tsan|--asan]
+#                      [--build-type=TYPE] [--build-dir=DIR]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_BENCH=0
-[[ "${1:-}" == "--skip-bench" ]] && SKIP_BENCH=1
+SANITIZE=""
+BUILD_TYPE=""
+BUILD_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --skip-bench) SKIP_BENCH=1 ;;
+    --tsan) SANITIZE=thread ;;
+    --asan) SANITIZE=address ;;
+    --build-type=*) BUILD_TYPE="${arg#*=}" ;;
+    --build-dir=*) BUILD_DIR="${arg#*=}" ;;
+    *) echo "usage: scripts/ci.sh [--skip-bench] [--tsan|--asan]" \
+            "[--build-type=TYPE] [--build-dir=DIR]" >&2; exit 2 ;;
+  esac
+done
 
+if [[ -n "$SANITIZE" ]]; then
+  : "${BUILD_DIR:=build-$SANITIZE}"
+  echo "== sanitizer ($SANITIZE): configure + build + executor tests =="
+  cmake -B "$BUILD_DIR" -S . -DVODAK_SANITIZE="$SANITIZE" \
+        ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"}
+  cmake --build "$BUILD_DIR" -j"$(nproc)" \
+        --target exec_batch_test exec_parallel_test
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+        -R 'exec_batch_test|exec_parallel_test'
+  echo "== ci.sh ($SANITIZE): all green =="
+  exit 0
+fi
+
+: "${BUILD_DIR:=build}"
 echo "== tier-1: configure + build + ctest =="
-cmake -B build -S .
-cmake --build build -j"$(nproc)"
-ctest --test-dir build --output-on-failure -j"$(nproc)"
+cmake -B "$BUILD_DIR" -S . \
+      ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"}
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
 if [[ "$SKIP_BENCH" == "1" ]]; then
   echo "== bench smoke skipped =="
@@ -18,15 +51,28 @@ if [[ "$SKIP_BENCH" == "1" ]]; then
 fi
 
 echo "== bench smoke (small N) =="
+# Collect the built bench binaries up front: after a partial build the
+# glob may match nothing, and that must fail the smoke loudly instead
+# of silently running zero benches.
+BENCHES=()
+for bench in "$BUILD_DIR"/bench_*; do
+  [[ -x "$bench" && ! -d "$bench" ]] && BENCHES+=("$bench")
+done
+if [[ ${#BENCHES[@]} -eq 0 ]]; then
+  echo "ci.sh: no bench_* binaries found in $BUILD_DIR/ (partial build?)" >&2
+  exit 1
+fi
+
 # The batch-executor bench has its own flags; a tiny corpus suffices to
-# prove it runs end to end.
-./build/bench_batch_exec --docs=50 --reps=1
+# prove it runs end to end. Its machine-readable output seeds the perf
+# trajectory (archived by the CI workflow).
+"$BUILD_DIR"/bench_batch_exec --docs=200 --reps=2 \
+                              --json=BENCH_parallel_exec.json
 
 # Google-benchmark binaries: run only the smallest Arg() variant of each
 # benchmark (plus arg-less ones) with a minimal measuring time.
 SMOKE_FILTER='(/(1|2|10|20|50)$|^[^/]+$)'
-for bench in build/bench_*; do
-  [[ -x "$bench" && ! -d "$bench" ]] || continue
+for bench in "${BENCHES[@]}"; do
   [[ "$(basename "$bench")" == "bench_batch_exec" ]] && continue
   echo "-- $bench"
   "$bench" --benchmark_filter="$SMOKE_FILTER" --benchmark_min_time=0.01

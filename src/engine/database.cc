@@ -86,20 +86,57 @@ Result<QueryResult> Database::Run(const std::string& vql,
   VODAK_ASSIGN_OR_RETURN(exec::PhysOpPtr root,
                          exec::BuildPhysical(out.chosen_plan, exec_ctx));
   out.physical_explain = exec::ExplainPhysical(*root);
+  const size_t threads = exec::ResolveThreads(options.threads);
   auto start = std::chrono::steady_clock::now();
-  VODAK_ASSIGN_OR_RETURN(
-      out.result,
-      exec::ExecuteColumn(root.get(), algebra::ResultRef(bound),
-                          options.batch ? exec::ExecMode::kBatch
-                                        : exec::ExecMode::kRow));
+  exec::ParallelPlanStatePtr pstate;
+  if (options.batch && threads > 1) {
+    // Probe for a parallelizable driving scan up front, so plans with
+    // none (set ops on the driving path) reuse the already-built
+    // serial tree instead of paying a second plan build in the driver.
+    VODAK_ASSIGN_OR_RETURN(
+        pstate, exec::PrepareParallelPlan(out.chosen_plan, exec_ctx,
+                                          threads, options.morsel_size));
+  }
+  if (pstate != nullptr) {
+    exec::ParallelOptions popts;
+    popts.threads = threads;
+    popts.morsel_size = options.morsel_size;
+    popts.pool = EnsurePool(threads);
+    // The serial tree above is only the EXPLAIN skeleton; mark that
+    // execution actually ran worker clones over shared morsels.
+    out.physical_explain +=
+        "[parallel: threads=" + std::to_string(threads) +
+        ", morsel<=" + std::to_string(popts.morsel_size) +
+        "; driving scan executed as per-worker MorselScan clones]\n";
+    VODAK_ASSIGN_OR_RETURN(
+        out.result,
+        exec::ParallelExecuteColumn(out.chosen_plan, exec_ctx,
+                                    algebra::ResultRef(bound), popts,
+                                    std::move(pstate)));
+  } else {
+    VODAK_ASSIGN_OR_RETURN(
+        out.result,
+        exec::ExecuteColumn(root.get(), algebra::ResultRef(bound),
+                            options.batch ? exec::ExecMode::kBatch
+                                          : exec::ExecMode::kRow));
+  }
   out.execute_ms = MsSince(start);
   return out;
 }
 
-Result<Value> Database::RunNaive(const std::string& vql) const {
+exec::WorkerPool* Database::EnsurePool(size_t threads) {
+  if (pool_ == nullptr || pool_->parallelism() < threads) {
+    pool_ = std::make_unique<exec::WorkerPool>(threads);
+  }
+  return pool_.get();
+}
+
+Result<Value> Database::RunNaive(
+    const std::string& vql,
+    const vql::Interpreter::Options& options) const {
   VODAK_ASSIGN_OR_RETURN(vql::BoundQuery bound, Parse(vql));
   vql::Interpreter interpreter(catalog_, store_, methods_);
-  return interpreter.Run(bound);
+  return interpreter.Run(bound, options);
 }
 
 Result<std::string> Database::Explain(const std::string& vql,

@@ -4,7 +4,9 @@
 #include <memory>
 #include <string>
 
+#include "exec/parallel.h"
 #include "exec/physical.h"
+#include "exec/worker_pool.h"
 #include "semantics/generator.h"
 #include "vql/interpreter.h"
 
@@ -23,6 +25,14 @@ struct ExecOptions {
   /// Drive the physical plan batch-at-a-time (the vectorized pipeline);
   /// false falls back to the row-at-a-time Volcano path.
   bool batch = true;
+  /// Worker threads for morsel-driven parallel execution. 1 keeps the
+  /// serial pipeline (the degenerate case), 0 resolves to the hardware
+  /// concurrency, >1 drains the plan through per-worker operator chains
+  /// over shared extent morsels (requires batch=true; ignored in row
+  /// mode, which exists as the independent oracle).
+  size_t threads = 1;
+  /// Upper bound on rows per morsel in the parallel path.
+  size_t morsel_size = exec::kDefaultMorselSize;
 };
 
 /// Everything one query execution produced.
@@ -83,8 +93,10 @@ class Database {
 
   /// Ground-truth evaluation through the naive interpreter (S9); used by
   /// the correctness property tests and as the paper's "straightforward
-  /// evaluation" baseline.
-  Result<Value> RunNaive(const std::string& vql) const;
+  /// evaluation" baseline. `options` selects the interpreter's row-mode
+  /// (fully independent oracle) or its morsel-parallel outer loop.
+  Result<Value> RunNaive(const std::string& vql,
+                         const vql::Interpreter::Options& options = {}) const;
 
   /// Human-readable optimization report: original plan, chosen plan,
   /// costs, and with `options.trace` the full rewrite storyboard.
@@ -94,6 +106,11 @@ class Database {
   const Catalog* catalog() const { return catalog_; }
   ObjectStore* store() const { return store_; }
   MethodRegistry* methods() const { return methods_; }
+
+  /// The session's worker pool, created lazily (and regrown) to satisfy
+  /// the largest thread count requested so far. Reused across queries so
+  /// repeated parallel Runs don't pay thread spawn latency.
+  exec::WorkerPool* EnsurePool(size_t threads);
 
  private:
   Result<vql::BoundQuery> Parse(const std::string& vql) const;
@@ -105,6 +122,7 @@ class Database {
   std::vector<opt::MethodStatsProvider> providers_;
   semantics::GeneratedOptimizer module_;
   opt::OptimizerOptions options_;
+  std::unique_ptr<exec::WorkerPool> pool_;
 };
 
 }  // namespace engine

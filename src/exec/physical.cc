@@ -1,10 +1,14 @@
 #include "exec/physical.h"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "exec/morsel_source.h"
+#include "exec/row_hash.h"
 
 namespace vodak {
 namespace exec {
@@ -62,26 +66,54 @@ size_t FillScanBatch(RowBatch* batch, size_t size, size_t* pos,
   return n;
 }
 
-uint64_t HashRow(const Row& row) {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (const Value& v : row) h = HashCombine(h, v.Hash());
-  return h;
+}  // namespace
+
+// Row hashing/equality shared with the parallel driver: exec/row_hash.h.
+using JoinTable = std::unordered_map<Row, std::vector<Row>, RowHash, RowEq>;
+
+/// Once-built hash-join table shared read-only by the worker clones of
+/// one logical join node. The winner of the call_once races builds from
+/// its own (deterministic) build subtree; everyone probes the result.
+struct SharedJoinBuild {
+  std::once_flag once;
+  JoinTable table;
+  Status status = Status::OK();
+};
+
+/// Same sharing for a nested-loop join's materialized inner side.
+struct SharedInnerRows {
+  std::once_flag once;
+  std::vector<Row> rows;
+  Status status = Status::OK();
+};
+
+/// See physical.h. Configured single-threaded by PrepareParallelPlan;
+/// after workers start, the only mutations go through the atomic morsel
+/// cursor and the per-join once_flags.
+class ParallelPlanState {
+ public:
+  /// The driving scan: the leaf reached by following input(0) edges.
+  const algebra::LogicalNode* driving_leaf = nullptr;
+  bool leaf_is_extent = false;
+  std::vector<Oid> extent;   // kGet driving leaf
+  ValueSet elements;         // kExprSource driving leaf
+  MorselSource morsels;
+  bool needs_final_dedup = false;
+  /// Pre-created entries for every join node in the plan (keyed by node
+  /// identity), so worker-side plan construction never mutates the maps.
+  std::map<const algebra::LogicalNode*, SharedJoinBuild> hash_builds;
+  std::map<const algebra::LogicalNode*, SharedInnerRows> inner_rows;
+
+  size_t driving_total() const {
+    return leaf_is_extent ? extent.size() : elements.size();
+  }
+};
+
+bool ParallelPlanNeedsFinalDedup(const ParallelPlanState& state) {
+  return state.needs_final_dedup;
 }
 
-struct RowHash {
-  size_t operator()(const Row& row) const {
-    return static_cast<size_t>(HashRow(row));
-  }
-};
-struct RowEq {
-  bool operator()(const Row& a, const Row& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (Value::Compare(a[i], b[i]) != 0) return false;
-    }
-    return true;
-  }
-};
+namespace {
 
 /// Sequential scan over a class extension (physical `get`).
 class ExtentScan : public PhysOperator {
@@ -180,6 +212,69 @@ class ExprSourceScan : public PhysOperator {
   size_t pos_ = 0;
 };
 
+/// Parallel leaf: one worker's view of the shared driving scan. The
+/// source (extent Oids or method-scan elements) was materialized once by
+/// PrepareParallelPlan; workers claim disjoint [begin, end) morsels from
+/// the shared atomic cursor and emit them batch by batch. A batch never
+/// spans a morsel boundary, so per-worker output stays cache-local.
+class MorselScan : public PhysOperator {
+ public:
+  MorselScan(std::string ref, std::string source_desc,
+             ParallelPlanState* state)
+      : PhysOperator({std::move(ref)}),
+        source_desc_(std::move(source_desc)),
+        state_(state) {}
+
+  Status Open() override {
+    pos_ = 0;
+    end_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= end_ && !ClaimMorsel()) return false;
+    row->assign(1, ValueAt(pos_++));
+    ++rows_produced_;
+    return true;
+  }
+  Result<bool> NextBatch(RowBatch* batch) override {
+    batch->Reset(1);
+    if (pos_ >= end_ && !ClaimMorsel()) return false;
+    const size_t n = std::min(kDefaultBatchSize, end_ - pos_);
+    auto& col = batch->column(0);
+    col.reserve(n);
+    for (size_t i = 0; i < n; ++i) col.push_back(ValueAt(pos_++));
+    batch->set_num_rows(n);
+    rows_produced_ += n;
+    return true;
+  }
+  void Close() override {}
+  std::string name() const override { return "MorselScan"; }
+  std::string params() const override {
+    return refs_[0] + " IN " + source_desc_;
+  }
+  const std::vector<const PhysOperator*> children() const override {
+    return {};
+  }
+
+ private:
+  bool ClaimMorsel() {
+    Morsel morsel;
+    if (!state_->morsels.Next(&morsel)) return false;
+    pos_ = morsel.begin;
+    end_ = morsel.end;
+    return true;
+  }
+  Value ValueAt(size_t i) const {
+    return state_->leaf_is_extent ? Value::OfOid(state_->extent[i])
+                                  : state_->elements[i];
+  }
+
+  std::string source_desc_;
+  ParallelPlanState* state_;
+  size_t pos_ = 0;
+  size_t end_ = 0;
+};
+
 /// Physical select<condition>.
 class Filter : public PhysOperator {
  public:
@@ -236,25 +331,32 @@ class Filter : public PhysOperator {
 class NestedLoopJoin : public PhysOperator {
  public:
   NestedLoopJoin(const ExecContext& ctx, PhysOpPtr left, PhysOpPtr right,
-                 ExprRef cond, std::vector<std::string> refs)
+                 ExprRef cond, std::vector<std::string> refs,
+                 SharedInnerRows* shared = nullptr)
       : PhysOperator(std::move(refs)),
         evaluator_(ctx.catalog, ctx.store, ctx.methods),
         left_(std::move(left)),
         right_(std::move(right)),
-        cond_(std::move(cond)) {
+        cond_(std::move(cond)),
+        shared_(shared) {
     BuildOutputMap();
   }
 
   Status Open() override {
     VODAK_RETURN_IF_ERROR(left_->Open());
-    VODAK_RETURN_IF_ERROR(right_->Open());
-    Row row;
-    for (;;) {
-      VODAK_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
-      if (!more) break;
-      right_rows_.push_back(row);
+    if (shared_ != nullptr) {
+      // Inner side shared across worker clones: the call_once winner
+      // drains its own copy of the subtree, everyone reads the result.
+      std::call_once(shared_->once, [&] {
+        shared_->status = MaterializeInner(&shared_->rows);
+      });
+      VODAK_RETURN_IF_ERROR(shared_->status);
+      right_rows_ = &shared_->rows;
+    } else {
+      own_rows_.clear();
+      VODAK_RETURN_IF_ERROR(MaterializeInner(&own_rows_));
+      right_rows_ = &own_rows_;
     }
-    right_->Close();
     right_pos_ = 0;
     left_valid_ = false;
     return Status::OK();
@@ -268,8 +370,8 @@ class NestedLoopJoin : public PhysOperator {
         left_valid_ = true;
         right_pos_ = 0;
       }
-      while (right_pos_ < right_rows_.size()) {
-        const Row& right_row = right_rows_[right_pos_++];
+      while (right_pos_ < right_rows_->size()) {
+        const Row& right_row = (*right_rows_)[right_pos_++];
         Merge(left_row_, right_row, row);
         VODAK_ASSIGN_OR_RETURN(
             bool keep,
@@ -284,7 +386,7 @@ class NestedLoopJoin : public PhysOperator {
   }
   void Close() override {
     left_->Close();
-    right_rows_.clear();
+    own_rows_.clear();
   }
   std::string name() const override { return "NestedLoopJoin"; }
   std::string params() const override { return cond_->ToString(); }
@@ -309,11 +411,25 @@ class NestedLoopJoin : public PhysOperator {
     }
   }
 
+  Status MaterializeInner(std::vector<Row>* out) {
+    VODAK_RETURN_IF_ERROR(right_->Open());
+    Row row;
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+      if (!more) break;
+      out->push_back(row);
+    }
+    right_->Close();
+    return Status::OK();
+  }
+
   ExprEvaluator evaluator_;
   PhysOpPtr left_;
   PhysOpPtr right_;
   ExprRef cond_;
-  std::vector<Row> right_rows_;
+  SharedInnerRows* shared_;
+  std::vector<Row> own_rows_;
+  const std::vector<Row>* right_rows_ = nullptr;
   size_t right_pos_ = 0;
   Row left_row_;
   bool left_valid_ = false;
@@ -328,12 +444,14 @@ class HashJoin : public PhysOperator {
   HashJoin(PhysOpPtr left, PhysOpPtr right,
            std::vector<std::string> left_keys,
            std::vector<std::string> right_keys,
-           std::vector<std::string> refs)
+           std::vector<std::string> refs,
+           SharedJoinBuild* shared = nullptr)
       : PhysOperator(std::move(refs)),
         left_(std::move(left)),
         right_(std::move(right)),
         left_keys_(std::move(left_keys)),
-        right_keys_(std::move(right_keys)) {
+        right_keys_(std::move(right_keys)),
+        shared_(shared) {
     for (const std::string& ref : refs_) {
       int li = left_->RefIndex(ref);
       int ri = right_->RefIndex(ref);
@@ -349,7 +467,8 @@ class HashJoin : public PhysOperator {
   }
 
   Status Open() override {
-    table_.clear();
+    own_table_.clear();
+    table_ = nullptr;
     built_ = false;
     VODAK_RETURN_IF_ERROR(left_->Open());
     left_valid_ = false;
@@ -357,10 +476,10 @@ class HashJoin : public PhysOperator {
     return Status::OK();
   }
 
-  /// Deferred build: drains the right side in the pipeline mode of the
-  /// first Next/NextBatch call, so a row-mode drain stays purely
-  /// row-at-a-time and a batch-mode drain builds batch-at-a-time.
-  Status BuildTable(bool batch_mode) {
+  /// Drains the build (right) side into `out` in the requested pipeline
+  /// mode, so a row-mode drain stays purely row-at-a-time and a
+  /// batch-mode drain builds batch-at-a-time.
+  Status BuildInto(JoinTable* out, bool batch_mode) {
     VODAK_RETURN_IF_ERROR(right_->Open());
     Row row;
     Row key;
@@ -368,7 +487,7 @@ class HashJoin : public PhysOperator {
       key.clear();
       key.reserve(right_key_idx_.size());
       for (int i : right_key_idx_) key.push_back(row[i]);
-      table_[key].push_back(row);
+      (*out)[key].push_back(row);
     };
     if (batch_mode) {
       RowBatch build;
@@ -388,6 +507,24 @@ class HashJoin : public PhysOperator {
       }
     }
     right_->Close();
+    return Status::OK();
+  }
+
+  /// Deferred build on the first Next/NextBatch call. With a shared
+  /// build, the call_once winner builds the table once from its own
+  /// (deterministic) build subtree and every worker probes it
+  /// read-only thereafter.
+  Status BuildTable(bool batch_mode) {
+    if (shared_ != nullptr) {
+      std::call_once(shared_->once, [&] {
+        shared_->status = BuildInto(&shared_->table, batch_mode);
+      });
+      VODAK_RETURN_IF_ERROR(shared_->status);
+      table_ = &shared_->table;
+    } else {
+      VODAK_RETURN_IF_ERROR(BuildInto(&own_table_, batch_mode));
+      table_ = &own_table_;
+    }
     built_ = true;
     return Status::OK();
   }
@@ -402,8 +539,8 @@ class HashJoin : public PhysOperator {
         Row key;
         key.reserve(left_key_idx_.size());
         for (int i : left_key_idx_) key.push_back(left_row_[i]);
-        auto it = table_.find(key);
-        bucket_ = it == table_.end() ? nullptr : &it->second;
+        auto it = table_->find(key);
+        bucket_ = it == table_->end() ? nullptr : &it->second;
         bucket_pos_ = 0;
       }
       if (bucket_ != nullptr && bucket_pos_ < bucket_->size()) {
@@ -433,8 +570,8 @@ class HashJoin : public PhysOperator {
         for (int i : left_key_idx_) {
           key.push_back(probe_batch_.column(i)[r]);
         }
-        auto it = table_.find(key);
-        if (it == table_.end()) continue;
+        auto it = table_->find(key);
+        if (it == table_->end()) continue;
         for (const Row& right_row : it->second) {
           for (size_t c = 0; c < refs_.size(); ++c) {
             batch->column(c).push_back(
@@ -453,7 +590,7 @@ class HashJoin : public PhysOperator {
   }
   void Close() override {
     left_->Close();
-    table_.clear();
+    own_table_.clear();
   }
   std::string name() const override { return "HashJoin"; }
   std::string params() const override {
@@ -475,7 +612,9 @@ class HashJoin : public PhysOperator {
   std::vector<std::string> right_keys_;
   std::vector<int> left_key_idx_;
   std::vector<int> right_key_idx_;
-  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> table_;
+  SharedJoinBuild* shared_;
+  JoinTable own_table_;
+  const JoinTable* table_ = nullptr;
   Row left_row_;
   bool left_valid_ = false;
   bool built_ = false;
@@ -828,10 +967,13 @@ class SetOp : public PhysOperator {
   bool left_done_ = false;
 };
 
-}  // namespace
-
-Result<PhysOpPtr> BuildPhysical(const LogicalRef& plan,
-                                const ExecContext& ctx) {
+/// Shared plan builder. With a null `state` this is the serial
+/// BuildPhysical; with a ParallelPlanState it builds one worker's clone:
+/// the driving leaf becomes a MorselScan over the shared cursor and
+/// joins attach to their pre-created shared build slots.
+Result<PhysOpPtr> BuildPhysicalImpl(const LogicalRef& plan,
+                                    const ExecContext& ctx,
+                                    ParallelPlanState* state) {
   switch (plan->op()) {
     case LogicalOp::kGet: {
       const ClassDef* cls = ctx.catalog->FindClass(plan->class_name());
@@ -839,21 +981,29 @@ Result<PhysOpPtr> BuildPhysical(const LogicalRef& plan,
         return Status::PlanError("unknown class '" + plan->class_name() +
                                  "'");
       }
+      if (state != nullptr && plan.get() == state->driving_leaf) {
+        return PhysOpPtr(
+            new MorselScan(plan->ref(), plan->class_name(), state));
+      }
       return PhysOpPtr(new ExtentScan(ctx, plan->ref(), plan->class_name(),
                                       cls->class_id()));
     }
     case LogicalOp::kExprSource:
+      if (state != nullptr && plan.get() == state->driving_leaf) {
+        return PhysOpPtr(new MorselScan(plan->ref(),
+                                        plan->expr()->ToString(), state));
+      }
       return PhysOpPtr(new ExprSourceScan(ctx, plan->ref(), plan->expr()));
     case LogicalOp::kSelect: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,
-                             BuildPhysical(plan->input(0), ctx));
+                             BuildPhysicalImpl(plan->input(0), ctx, state));
       return PhysOpPtr(new Filter(ctx, std::move(child), plan->expr()));
     }
     case LogicalOp::kJoin: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr left,
-                             BuildPhysical(plan->input(0), ctx));
+                             BuildPhysicalImpl(plan->input(0), ctx, state));
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr right,
-                             BuildPhysical(plan->input(1), ctx));
+                             BuildPhysicalImpl(plan->input(1), ctx, state));
       const ExprRef& cond = plan->expr();
       // Bare-variable equality spanning both sides → hash join (the
       // deterministic algorithm choice shared with the cost model).
@@ -865,51 +1015,56 @@ Result<PhysOpPtr> BuildPhysical(const LogicalRef& plan,
         std::string b = cond->rhs()->var_name();
         if (plan->input(0)->HasRef(b)) std::swap(a, b);
         if (plan->input(0)->HasRef(a) && plan->input(1)->HasRef(b)) {
-          return PhysOpPtr(new HashJoin(std::move(left), std::move(right),
-                                        {a}, {b}, RefsOf(plan)));
+          return PhysOpPtr(new HashJoin(
+              std::move(left), std::move(right), {a}, {b}, RefsOf(plan),
+              state == nullptr ? nullptr
+                               : &state->hash_builds.at(plan.get())));
         }
       }
-      return PhysOpPtr(new NestedLoopJoin(ctx, std::move(left),
-                                          std::move(right), cond,
-                                          RefsOf(plan)));
+      return PhysOpPtr(new NestedLoopJoin(
+          ctx, std::move(left), std::move(right), cond, RefsOf(plan),
+          state == nullptr ? nullptr
+                           : &state->inner_rows.at(plan.get())));
     }
     case LogicalOp::kNaturalJoin: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr left,
-                             BuildPhysical(plan->input(0), ctx));
+                             BuildPhysicalImpl(plan->input(0), ctx, state));
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr right,
-                             BuildPhysical(plan->input(1), ctx));
+                             BuildPhysicalImpl(plan->input(1), ctx, state));
       std::vector<std::string> shared;
       for (const auto& [ref, type] : plan->input(0)->schema()) {
         if (plan->input(1)->HasRef(ref)) shared.push_back(ref);
       }
-      return PhysOpPtr(new HashJoin(std::move(left), std::move(right),
-                                    shared, shared, RefsOf(plan)));
+      return PhysOpPtr(new HashJoin(
+          std::move(left), std::move(right), shared, shared, RefsOf(plan),
+          state == nullptr ? nullptr
+                           : &state->hash_builds.at(plan.get())));
     }
     case LogicalOp::kUnion:
     case LogicalOp::kDiff: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr left,
-                             BuildPhysical(plan->input(0), ctx));
+                             BuildPhysicalImpl(plan->input(0), ctx, state));
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr right,
-                             BuildPhysical(plan->input(1), ctx));
+                             BuildPhysicalImpl(plan->input(1), ctx, state));
       return PhysOpPtr(new SetOp(std::move(left), std::move(right),
                                  plan->op() == LogicalOp::kUnion,
                                  RefsOf(plan)));
     }
     case LogicalOp::kMap: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,
-                             BuildPhysical(plan->input(0), ctx));
+                             BuildPhysicalImpl(plan->input(0), ctx, state));
       return PhysOpPtr(new MapOp(ctx, std::move(child), plan->ref(),
                                  plan->expr(), RefsOf(plan)));
     }
     case LogicalOp::kFlat: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,
-                             BuildPhysical(plan->input(0), ctx));
+                             BuildPhysicalImpl(plan->input(0), ctx, state));
       return PhysOpPtr(new FlatOp(ctx, std::move(child), plan->ref(),
                                   plan->expr(), RefsOf(plan)));
     }
     case LogicalOp::kProject: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,
-                             BuildPhysical(plan->input(0), ctx));
+                             BuildPhysicalImpl(plan->input(0), ctx, state));
       return PhysOpPtr(
           new ProjectDedup(std::move(child), plan->projection()));
     }
@@ -918,6 +1073,120 @@ Result<PhysOpPtr> BuildPhysical(const LogicalRef& plan,
           "group placeholder in executable plan (optimizer bug)");
   }
   return Status::Internal("unreachable logical op in plan builder");
+}
+
+/// Occurrences of `target` in the plan DAG. The driving leaf must occur
+/// exactly once: a shared subtree node reached through another path
+/// would wrongly read from the same morsel cursor.
+size_t CountOccurrences(const LogicalRef& plan,
+                        const algebra::LogicalNode* target) {
+  size_t n = plan.get() == target ? 1 : 0;
+  for (const LogicalRef& input : plan->inputs()) {
+    n += CountOccurrences(input, target);
+  }
+  return n;
+}
+
+/// Pre-creates the shared build slots for every join node in the plan,
+/// so worker-side construction only ever reads the maps.
+void CreateSharedJoinSlots(const LogicalRef& plan,
+                           ParallelPlanState* state) {
+  if (plan->op() == LogicalOp::kJoin ||
+      plan->op() == LogicalOp::kNaturalJoin) {
+    state->hash_builds[plan.get()];
+    state->inner_rows[plan.get()];
+  }
+  for (const LogicalRef& input : plan->inputs()) {
+    CreateSharedJoinSlots(input, state);
+  }
+}
+
+}  // namespace
+
+Result<PhysOpPtr> BuildPhysical(const LogicalRef& plan,
+                                const ExecContext& ctx) {
+  return BuildPhysicalImpl(plan, ctx, /*state=*/nullptr);
+}
+
+Result<PhysOpPtr> BuildPhysicalWorker(const LogicalRef& plan,
+                                      const ExecContext& ctx,
+                                      const ParallelPlanStatePtr& state) {
+  if (state == nullptr) {
+    return Status::Internal("BuildPhysicalWorker without plan state");
+  }
+  return BuildPhysicalImpl(plan, ctx, state.get());
+}
+
+Result<ParallelPlanStatePtr> PrepareParallelPlan(const LogicalRef& plan,
+                                                 const ExecContext& ctx,
+                                                 size_t threads,
+                                                 size_t max_morsel_size) {
+  auto state = std::make_shared<ParallelPlanState>();
+
+  // Walk the driving path: the input(0) chain from the root. Joins
+  // drive through their probe (outer) side; set operators interleave
+  // their own right-side emission with the left drain and stay serial.
+  const LogicalNode* node = plan.get();
+  for (bool at_leaf = false; !at_leaf;) {
+    switch (node->op()) {
+      case LogicalOp::kSelect:
+      case LogicalOp::kMap:
+      case LogicalOp::kFlat:
+      case LogicalOp::kJoin:
+      case LogicalOp::kNaturalJoin:
+        node = node->input(0).get();
+        break;
+      case LogicalOp::kProject:
+        // Workers dedup locally; the driver must dedup the merge.
+        state->needs_final_dedup = true;
+        node = node->input(0).get();
+        break;
+      case LogicalOp::kGet:
+      case LogicalOp::kExprSource:
+        at_leaf = true;
+        break;
+      case LogicalOp::kUnion:
+      case LogicalOp::kDiff:
+      case LogicalOp::kGroupRef:
+        return ParallelPlanStatePtr();  // serial fallback
+    }
+  }
+
+  if (CountOccurrences(plan, node) != 1) {
+    return ParallelPlanStatePtr();  // shared leaf subtree: stay serial
+  }
+
+  // Materialize the driving scan once, exactly like the serial leaf's
+  // Open() would (same stats, same errors).
+  state->driving_leaf = node;
+  if (node->op() == LogicalOp::kGet) {
+    const ClassDef* cls = ctx.catalog->FindClass(node->class_name());
+    if (cls == nullptr) {
+      return Status::PlanError("unknown class '" + node->class_name() +
+                               "'");
+    }
+    VODAK_ASSIGN_OR_RETURN(state->extent,
+                           ctx.store->Extent(cls->class_id()));
+    state->leaf_is_extent = true;
+  } else {
+    ExprEvaluator evaluator(ctx.catalog, ctx.store, ctx.methods);
+    VODAK_ASSIGN_OR_RETURN(Value set, evaluator.Eval(node->expr(), {}));
+    if (set.is_null()) {
+      state->elements.clear();
+    } else if (set.is_set()) {
+      state->elements = set.AsSet();
+    } else {
+      return Status::ExecError("expr_source evaluated to non-set " +
+                               set.ToString());
+    }
+  }
+
+  const size_t total = state->driving_total();
+  state->morsels.Reset(
+      total, BalancedMorselSize(total, threads, max_morsel_size));
+
+  CreateSharedJoinSlots(plan, state.get());
+  return state;
 }
 
 Result<Value> ExecuteToSet(PhysOperator* root, ExecMode mode) {

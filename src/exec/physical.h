@@ -80,6 +80,38 @@ Result<Value> ExecuteToSet(PhysOperator* root,
 Result<Value> ExecuteColumn(PhysOperator* root, const std::string& ref,
                             ExecMode mode = ExecMode::kBatch);
 
+/// Shared, per-query state behind the morsel-driven parallel pipeline
+/// (exec/parallel.h): the materialized driving scan with its atomic
+/// morsel cursor, plus once-built hash-join tables and nested-loop
+/// materializations shared read-only by the worker-local plan clones.
+/// Opaque outside physical.cc; created by PrepareParallelPlan and
+/// consumed by BuildPhysicalWorker.
+class ParallelPlanState;
+using ParallelPlanStatePtr = std::shared_ptr<ParallelPlanState>;
+
+/// Analyzes `plan` for morsel-driven execution and materializes the
+/// driving scan (the input(0)-chain leaf: extent or method scan) once.
+/// Returns a null pointer — not an error — when the plan has no
+/// parallelizable driving path (set operators on the path); callers
+/// then fall back to the serial pipeline. `threads` sizes morsels for
+/// load balance; `max_morsel_size` caps the rows per morsel.
+Result<ParallelPlanStatePtr> PrepareParallelPlan(
+    const algebra::LogicalRef& plan, const ExecContext& ctx,
+    size_t threads, size_t max_morsel_size);
+
+/// True when worker-local results must pass through a final
+/// single-threaded dedup (the plan dedups on the driving path, which
+/// workers can only apply locally).
+bool ParallelPlanNeedsFinalDedup(const ParallelPlanState& state);
+
+/// Builds one worker's clone of the plan: the driving leaf reads
+/// morsels from the shared cursor and joins share their build side
+/// through `state`. Each worker drains its own clone; the merged
+/// per-worker outputs form the plan's result multiset.
+Result<PhysOpPtr> BuildPhysicalWorker(const algebra::LogicalRef& plan,
+                                      const ExecContext& ctx,
+                                      const ParallelPlanStatePtr& state);
+
 /// Indented physical EXPLAIN with the restricted-algebra decomposition
 /// of operator parameters (§6.1): complex expressions are shown as
 /// map_property / map_method / map_operator step chains.

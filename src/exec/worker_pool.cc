@@ -1,0 +1,72 @@
+#include "exec/worker_pool.h"
+
+namespace vodak {
+namespace exec {
+
+WorkerPool::WorkerPool(size_t parallelism) {
+  const size_t background = parallelism > 1 ? parallelism - 1 : 0;
+  threads_.reserve(background);
+  for (size_t i = 0; i < background; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::RunClaimedTasks() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (job_ == nullptr || next_task_ >= total_tasks_) return;
+    const size_t index = next_task_++;
+    const std::function<void(size_t)>* task = job_;
+    lock.unlock();
+    (*task)(index);
+    lock.lock();
+    if (++done_tasks_ == total_tasks_) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stop_ || (job_ != nullptr && next_task_ < total_tasks_);
+      });
+      if (stop_) return;
+    }
+    RunClaimedTasks();
+  }
+}
+
+void WorkerPool::ParallelRun(size_t n,
+                             const std::function<void(size_t)>& task) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &task;
+    next_task_ = 0;
+    total_tasks_ = n;
+    done_tasks_ = 0;
+  }
+  work_cv_.notify_all();
+  RunClaimedTasks();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return done_tasks_ == total_tasks_; });
+  job_ = nullptr;
+}
+
+}  // namespace exec
+}  // namespace vodak

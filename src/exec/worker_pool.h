@@ -1,0 +1,72 @@
+#ifndef VODAK_EXEC_WORKER_POOL_H_
+#define VODAK_EXEC_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vodak {
+namespace exec {
+
+/// 0 → hardware concurrency (at least 1), otherwise `threads` itself.
+/// The shared thread-count convention of every parallel knob.
+inline size_t ResolveThreads(size_t threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// A small fixed pool of worker threads for morsel-driven execution.
+///
+/// The pool provides one primitive, ParallelRun(n, task): run task(i)
+/// for every i in [0, n), with the calling thread participating
+/// alongside the pooled threads, and return once all n tasks finished.
+/// Tasks are claimed from a shared counter, so n may exceed the pool
+/// size (excess tasks run as threads free up) and a pool of parallelism
+/// 1 degenerates to a plain serial loop on the caller.
+///
+/// The pool is reusable across queries; threads park on a condition
+/// variable between runs. ParallelRun is serialized internally, so
+/// concurrent callers are safe but do not overlap their work.
+class WorkerPool {
+ public:
+  /// Creates a pool with `parallelism` total lanes: the caller of
+  /// ParallelRun plus (parallelism - 1) background threads.
+  explicit WorkerPool(size_t parallelism);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  /// Total parallel lanes (background threads + the calling thread).
+  size_t parallelism() const { return threads_.size() + 1; }
+
+  /// Runs task(0) .. task(n-1) to completion across the pool and the
+  /// calling thread. Tasks must not call ParallelRun on the same pool.
+  void ParallelRun(size_t n, const std::function<void(size_t)>& task);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs tasks of the current job until none remain.
+  void RunClaimedTasks();
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  /// Guards against overlapping ParallelRun calls.
+  std::mutex run_mu_;
+  const std::function<void(size_t)>* job_ = nullptr;  // guarded by mu_
+  size_t next_task_ = 0;                              // guarded by mu_
+  size_t total_tasks_ = 0;                            // guarded by mu_
+  size_t done_tasks_ = 0;                             // guarded by mu_
+  bool stop_ = false;                                 // guarded by mu_
+};
+
+}  // namespace exec
+}  // namespace vodak
+
+#endif  // VODAK_EXEC_WORKER_POOL_H_

@@ -115,8 +115,10 @@ Result<ValueColumn> ExprEvaluator::EvalPropertyColumn(
   const PropertyDef* run_prop = nullptr;
   auto flush_run = [&]() -> Status {
     if (run.empty()) return Status::OK();
-    VODAK_RETURN_IF_ERROR(
-        store_->GetPropertyColumn(run_class, run_prop->slot, run, &out));
+    // Range-scoped read: one atomic stats bump for the whole run, so
+    // parallel morsel workers don't contend per row on the counter.
+    VODAK_RETURN_IF_ERROR(store_->GetPropertyColumn(
+        run_class, run_prop->slot, run, 0, run.size(), &out));
     run.clear();
     return Status::OK();
   };

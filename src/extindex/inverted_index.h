@@ -1,6 +1,7 @@
 #ifndef VODAK_EXTINDEX_INVERTED_INDEX_H_
 #define VODAK_EXTINDEX_INVERTED_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -45,8 +46,12 @@ class InvertedTextIndex {
   uint64_t DocumentFrequency(const std::string& word) const;
 
   uint64_t indexed_count() const { return indexed_count_; }
-  uint64_t search_count() const { return search_count_; }
-  uint64_t postings_scanned() const { return postings_scanned_; }
+  uint64_t search_count() const {
+    return search_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t postings_scanned() const {
+    return postings_scanned_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() {
     search_count_ = 0;
     postings_scanned_ = 0;
@@ -56,8 +61,9 @@ class InvertedTextIndex {
   /// word -> sorted postings list.
   std::map<std::string, std::vector<Oid>> postings_;
   uint64_t indexed_count_ = 0;
-  mutable uint64_t search_count_ = 0;
-  mutable uint64_t postings_scanned_ = 0;
+  // Relaxed atomics: searches run from parallel morsel workers.
+  mutable std::atomic<uint64_t> search_count_{0};
+  mutable std::atomic<uint64_t> postings_scanned_{0};
 };
 
 /// Ordered secondary index on a single attribute value, the substitute
@@ -77,7 +83,9 @@ class OrderedAttributeIndex {
                                const std::string& hi) const;
 
   uint64_t entry_count() const { return entry_count_; }
-  uint64_t lookup_count() const { return lookup_count_; }
+  uint64_t lookup_count() const {
+    return lookup_count_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() { lookup_count_ = 0; }
 
   /// Number of distinct keys (cost-model statistic).
@@ -86,7 +94,7 @@ class OrderedAttributeIndex {
  private:
   std::map<std::string, std::vector<Oid>> entries_;
   uint64_t entry_count_ = 0;
-  mutable uint64_t lookup_count_ = 0;
+  mutable std::atomic<uint64_t> lookup_count_{0};
 };
 
 }  // namespace vodak

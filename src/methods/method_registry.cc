@@ -105,8 +105,8 @@ Result<Value> MethodRegistry::Dispatch(MethodCallContext& ctx,
     return Status::ExecError("method recursion limit exceeded in '" +
                              method.sig.name + "'");
   }
-  ++method.invocations;
-  ++total_invocations_;
+  method.invocations.fetch_add(1, std::memory_order_relaxed);
+  total_invocations_.fetch_add(1, std::memory_order_relaxed);
   switch (method.impl.kind) {
     case MethodImplKind::kPath:
       if (!self.is_oid()) {
@@ -174,7 +174,9 @@ uint64_t MethodRegistry::invocation_count(const std::string& class_name,
                                           const std::string& method,
                                           MethodLevel level) const {
   const RegisteredMethod* reg = Find(class_name, method, level);
-  return reg == nullptr ? 0 : reg->invocations;
+  return reg == nullptr
+             ? 0
+             : reg->invocations.load(std::memory_order_relaxed);
 }
 
 void MethodRegistry::ResetCounters() {

@@ -1,6 +1,7 @@
 #ifndef VODAK_METHODS_METHOD_REGISTRY_H_
 #define VODAK_METHODS_METHOD_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -74,7 +75,17 @@ class MethodRegistry {
     MethodSig sig;
     MethodImpl impl;
     MethodCost cost;
-    mutable uint64_t invocations = 0;
+    /// Relaxed atomic: dispatch is counted from parallel morsel workers.
+    mutable std::atomic<uint64_t> invocations{0};
+
+    RegisteredMethod() = default;
+    // Moved once at registration time (atomics are not movable).
+    RegisteredMethod(RegisteredMethod&& other) noexcept
+        : sig(std::move(other.sig)),
+          impl(std::move(other.impl)),
+          cost(other.cost),
+          invocations(
+              other.invocations.load(std::memory_order_relaxed)) {}
   };
 
   MethodRegistry() = default;
@@ -124,7 +135,9 @@ class MethodRegistry {
   void ResetCounters();
 
   /// Total method invocations since construction/reset.
-  uint64_t total_invocations() const { return total_invocations_; }
+  uint64_t total_invocations() const {
+    return total_invocations_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Key {
@@ -147,7 +160,7 @@ class MethodRegistry {
                          Oid self) const;
 
   std::map<Key, RegisteredMethod> methods_;
-  mutable uint64_t total_invocations_ = 0;
+  mutable std::atomic<uint64_t> total_invocations_{0};
 };
 
 /// Resolves a property of `oid` by name through the catalog and reads it

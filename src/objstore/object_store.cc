@@ -28,7 +28,7 @@ Result<Oid> ObjectStore::CreateObject(uint32_t class_id) {
   inst.slots.assign(storage.slot_count, Value::Null());
   storage.instances.push_back(std::move(inst));
   ++storage.live_count;
-  ++stats_.objects_created;
+  stats_.objects_created.fetch_add(1, std::memory_order_relaxed);
   // local ids start at 1 so that Oid{0,0} stays the NIL reference.
   return Oid(class_id, static_cast<uint32_t>(storage.instances.size()));
 }
@@ -39,7 +39,7 @@ Status ObjectStore::DeleteObject(Oid oid) {
   inst.live = false;
   inst.slots.clear();
   --classes_[oid.class_id - 1].live_count;
-  ++stats_.objects_deleted;
+  stats_.objects_deleted.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -72,12 +72,21 @@ Status ObjectStore::CheckOid(Oid oid, uint32_t slot, const char* op) const {
 
 Result<Value> ObjectStore::GetProperty(Oid oid, uint32_t slot) const {
   VODAK_RETURN_IF_ERROR(CheckOid(oid, slot, "get"));
-  ++stats_.property_reads;
+  // Relaxed: per-row reads happen from parallel workers; a seq_cst RMW
+  // here would ping-pong the stats cache line across cores.
+  stats_.property_reads.fetch_add(1, std::memory_order_relaxed);
   return classes_[oid.class_id - 1].instances[oid.local - 1].slots[slot];
 }
 
 Status ObjectStore::GetPropertyColumn(uint32_t class_id, uint32_t slot,
                                       const std::vector<uint32_t>& locals,
+                                      std::vector<Value>* out) const {
+  return GetPropertyColumn(class_id, slot, locals, 0, locals.size(), out);
+}
+
+Status ObjectStore::GetPropertyColumn(uint32_t class_id, uint32_t slot,
+                                      const std::vector<uint32_t>& locals,
+                                      size_t begin, size_t end,
                                       std::vector<Value>* out) const {
   const ClassStorage* cls = FindClass(class_id);
   if (cls == nullptr) {
@@ -89,21 +98,33 @@ Status ObjectStore::GetPropertyColumn(uint32_t class_id, uint32_t slot,
         "get: slot " + std::to_string(slot) +
         " out of range for class '" + cls->debug_name + "'");
   }
-  for (uint32_t local : locals) {
+  if (begin > end || end > locals.size()) {
+    return Status::InvalidArgument(
+        "get: column range [" + std::to_string(begin) + ", " +
+        std::to_string(end) + ") out of bounds for " +
+        std::to_string(locals.size()) + " locals");
+  }
+  size_t emitted = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const uint32_t local = locals[i];
     if (local == 0 || local > cls->instances.size() ||
         !cls->instances[local - 1].live) {
+      // Counted per object, like GetProperty: charge what was read
+      // before the dangling reference stopped the column.
+      stats_.property_reads.fetch_add(emitted, std::memory_order_relaxed);
       return Status::NotFound("get: dangling oid " +
                               Oid(class_id, local).ToString());
     }
-    ++stats_.property_reads;  // counted per object, like GetProperty
     out->push_back(cls->instances[local - 1].slots[slot]);
+    ++emitted;
   }
+  stats_.property_reads.fetch_add(emitted, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status ObjectStore::SetProperty(Oid oid, uint32_t slot, Value value) {
   VODAK_RETURN_IF_ERROR(CheckOid(oid, slot, "set"));
-  ++stats_.property_writes;
+  stats_.property_writes.fetch_add(1, std::memory_order_relaxed);
   classes_[oid.class_id - 1].instances[oid.local - 1].slots[slot] =
       std::move(value);
   return Status::OK();
@@ -114,7 +135,7 @@ Result<std::vector<Oid>> ObjectStore::Extent(uint32_t class_id) const {
   if (cls == nullptr) {
     return Status::NotFound("unknown class id " + std::to_string(class_id));
   }
-  ++stats_.extent_scans;
+  stats_.extent_scans.fetch_add(1, std::memory_order_relaxed);
   std::vector<Oid> out;
   out.reserve(cls->live_count);
   for (uint32_t i = 0; i < cls->instances.size(); ++i) {

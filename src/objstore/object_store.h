@@ -1,6 +1,7 @@
 #ifndef VODAK_OBJSTORE_OBJECT_STORE_H_
 #define VODAK_OBJSTORE_OBJECT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -14,15 +15,24 @@ namespace vodak {
 /// Counters exposed by the store. Benchmarks and the cost-model
 /// calibration read these to *measure* property accesses and extent scans
 /// instead of guessing, which is how we validate the paper's claims about
-/// access cost asymmetry between attributes and methods.
+/// access cost asymmetry between attributes and methods. Relaxed atomics:
+/// morsel-driven workers read properties concurrently, and counting must
+/// never race (column reads bump property_reads once per column, so the
+/// hot path pays one fetch_add per batch, not per row).
 struct StoreStats {
-  uint64_t property_reads = 0;
-  uint64_t property_writes = 0;
-  uint64_t objects_created = 0;
-  uint64_t objects_deleted = 0;
-  uint64_t extent_scans = 0;
+  std::atomic<uint64_t> property_reads{0};
+  std::atomic<uint64_t> property_writes{0};
+  std::atomic<uint64_t> objects_created{0};
+  std::atomic<uint64_t> objects_deleted{0};
+  std::atomic<uint64_t> extent_scans{0};
 
-  void Reset() { *this = StoreStats(); }
+  void Reset() {
+    property_reads = 0;
+    property_writes = 0;
+    objects_created = 0;
+    objects_deleted = 0;
+    extent_scans = 0;
+  }
 };
 
 /// In-memory object store: the VODAK-kernel substitute (DESIGN.md S3).
@@ -63,6 +73,16 @@ class ObjectStore {
   /// object. Counts locals.size() property reads.
   Status GetPropertyColumn(uint32_t class_id, uint32_t slot,
                            const std::vector<uint32_t>& locals,
+                           std::vector<Value>* out) const;
+
+  /// Range-scoped variant reading locals[begin, end): parallel morsel
+  /// workers can share one locals vector and each read a disjoint slice
+  /// without coordination — the store is read-only during query
+  /// execution and the stats counter is bumped once, atomically, for
+  /// the whole slice.
+  Status GetPropertyColumn(uint32_t class_id, uint32_t slot,
+                           const std::vector<uint32_t>& locals,
+                           size_t begin, size_t end,
                            std::vector<Value>* out) const;
 
   /// Live instances of a class, in creation order. Counts as one extent

@@ -3,10 +3,31 @@
 namespace vodak {
 namespace vql {
 
-Status Interpreter::Flush(const BoundQuery& query, Pending* pending,
+Status Interpreter::Flush(const BoundQuery& query, const Options& options,
+                          Pending* pending,
                           std::vector<Value>* out) const {
   exec::RowBatch& batch = pending->batch;
   if (batch.empty()) return Status::OK();
+  if (options.row_mode) {
+    // Independent-oracle path: per-row Eval/EvalPredicate only, no
+    // shared code with the batched evaluators the executor uses.
+    Env env;
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      env.clear();
+      for (size_t i = 0; i < pending->names.size(); ++i) {
+        env[pending->names[i]] = batch.column(i)[r];
+      }
+      if (query.where != nullptr) {
+        VODAK_ASSIGN_OR_RETURN(bool keep,
+                               evaluator_.EvalPredicate(query.where, env));
+        if (!keep) continue;
+      }
+      VODAK_ASSIGN_OR_RETURN(Value v, evaluator_.Eval(query.access, env));
+      out->push_back(std::move(v));
+    }
+    batch.Reset(pending->names.size());
+    return Status::OK();
+  }
   BatchEnv env{&pending->names, &batch.columns(), batch.num_rows()};
   if (query.where != nullptr) {
     std::vector<char> keep;
@@ -23,7 +44,8 @@ Status Interpreter::Flush(const BoundQuery& query, Pending* pending,
   return Status::OK();
 }
 
-Status Interpreter::RunRanges(const BoundQuery& query, size_t index,
+Status Interpreter::RunRanges(const BoundQuery& query,
+                              const Options& options, size_t index,
                               Env* env, Pending* pending,
                               std::vector<Value>* out) const {
   if (index == query.from.size()) {
@@ -33,7 +55,7 @@ Status Interpreter::RunRanges(const BoundQuery& query, size_t index,
     }
     batch.set_num_rows(batch.num_rows() + 1);
     if (batch.num_rows() >= exec::kDefaultBatchSize) {
-      return Flush(query, pending, out);
+      return Flush(query, options, pending, out);
     }
     return Status::OK();
   }
@@ -48,7 +70,8 @@ Status Interpreter::RunRanges(const BoundQuery& query, size_t index,
     if (!extent.ok()) return extent.status();
     for (Oid oid : extent.value()) {
       (*env)[range.var] = Value::OfOid(oid);
-      VODAK_RETURN_IF_ERROR(RunRanges(query, index + 1, env, pending, out));
+      VODAK_RETURN_IF_ERROR(
+          RunRanges(query, options, index + 1, env, pending, out));
     }
     env->erase(range.var);
     return Status::OK();
@@ -64,23 +87,97 @@ Status Interpreter::RunRanges(const BoundQuery& query, size_t index,
   }
   for (const Value& member : domain.value().AsSet()) {
     (*env)[range.var] = member;
-    VODAK_RETURN_IF_ERROR(RunRanges(query, index + 1, env, pending, out));
+    VODAK_RETURN_IF_ERROR(
+        RunRanges(query, options, index + 1, env, pending, out));
   }
   env->erase(range.var);
   return Status::OK();
 }
 
-Result<Value> Interpreter::Run(const BoundQuery& query) const {
-  std::vector<Value> results;
-  Env env;
+Status Interpreter::RunFrom(const BoundQuery& query, const Options& options,
+                            size_t first_range, Env env,
+                            std::vector<Value>* out) const {
   Pending pending;
   pending.names.reserve(query.from.size());
   for (const BoundRange& range : query.from) {
     pending.names.push_back(range.var);
   }
   pending.batch.Reset(pending.names.size());
-  VODAK_RETURN_IF_ERROR(RunRanges(query, 0, &env, &pending, &results));
-  VODAK_RETURN_IF_ERROR(Flush(query, &pending, &results));
+  VODAK_RETURN_IF_ERROR(
+      RunRanges(query, options, first_range, &env, &pending, out));
+  return Flush(query, options, &pending, out);
+}
+
+Status Interpreter::RunParallel(const BoundQuery& query,
+                                const Options& options,
+                                const std::vector<Oid>& extent,
+                                size_t threads,
+                                std::vector<Value>* out) const {
+  // Morselize the outermost extent with the same load-balanced sizing
+  // as the physical parallel driver.
+  exec::MorselSource morsels;
+  morsels.Reset(extent.size(),
+                exec::BalancedMorselSize(extent.size(), threads,
+                                         options.morsel_size));
+
+  const std::string& outer_var = query.from[0].var;
+  std::vector<std::vector<Value>> worker_out(threads);
+  std::vector<Status> worker_status(threads, Status::OK());
+  auto task = [&](size_t w) {
+    worker_status[w] = [&]() -> Status {
+      // Worker-local buffering: one Pending across all claimed morsels
+      // keeps the batches full; inner ranges stay nested per worker.
+      Pending pending;
+      pending.names.reserve(query.from.size());
+      for (const BoundRange& range : query.from) {
+        pending.names.push_back(range.var);
+      }
+      pending.batch.Reset(pending.names.size());
+      Env env;
+      exec::Morsel morsel;
+      while (morsels.Next(&morsel)) {
+        for (size_t i = morsel.begin; i < morsel.end; ++i) {
+          env[outer_var] = Value::OfOid(extent[i]);
+          VODAK_RETURN_IF_ERROR(RunRanges(query, options, 1, &env,
+                                          &pending, &worker_out[w]));
+        }
+      }
+      return Flush(query, options, &pending, &worker_out[w]);
+    }();
+  };
+  if (options.pool != nullptr) {
+    options.pool->ParallelRun(threads, task);
+  } else {
+    exec::WorkerPool ephemeral(threads);
+    ephemeral.ParallelRun(threads, task);
+  }
+  for (const Status& status : worker_status) {
+    VODAK_RETURN_IF_ERROR(status);
+  }
+  for (std::vector<Value>& rows : worker_out) {
+    for (Value& v : rows) out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+Result<Value> Interpreter::Run(const BoundQuery& query,
+                               const Options& options) const {
+  std::vector<Value> results;
+  const size_t threads = exec::ResolveThreads(options.threads);
+  if (threads > 1 && !query.from.empty() &&
+      query.from[0].kind == RangeKind::kExtent) {
+    const BoundRange& outer = query.from[0];
+    const ClassDef* cls = evaluator_.catalog()->FindClass(outer.class_name);
+    if (cls == nullptr) {
+      return Status::BindError("unknown class '" + outer.class_name + "'");
+    }
+    VODAK_ASSIGN_OR_RETURN(std::vector<Oid> extent,
+                           evaluator_.store()->Extent(cls->class_id()));
+    VODAK_RETURN_IF_ERROR(
+        RunParallel(query, options, extent, threads, &results));
+  } else {
+    VODAK_RETURN_IF_ERROR(RunFrom(query, options, 0, Env(), &results));
+  }
   return Value::Set(std::move(results));
 }
 

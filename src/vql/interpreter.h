@@ -2,7 +2,9 @@
 #define VODAK_VQL_INTERPRETER_H_
 
 #include "common/result.h"
+#include "exec/morsel_source.h"
 #include "exec/row_batch.h"
+#include "exec/worker_pool.h"
 #include "expr/expr_eval.h"
 #include "vql/ast.h"
 
@@ -21,13 +23,38 @@ namespace vql {
 /// property test suites enforce that.
 class Interpreter {
  public:
+  /// Evaluation knobs. The defaults are the batched serial interpreter;
+  /// the switches exist for oracle independence and for routing the
+  /// naive evaluation through the parallel worker infrastructure.
+  struct Options {
+    /// Evaluate WHERE/ACCESS row at a time through Eval/EvalPredicate,
+    /// bypassing EvalBatch entirely. This is the fully independent
+    /// oracle: it shares no batched-evaluation code with the physical
+    /// executor, so the parity sweeps can catch bugs in EvalBatch.
+    bool row_mode = false;
+    /// Worker threads for the outermost extent range (>1 splits it into
+    /// morsels claimed from an atomic cursor; inner ranges stay nested
+    /// per worker). 1 = serial, 0 = hardware concurrency. Parallelism
+    /// requires the first FROM range to be a class extent; otherwise
+    /// evaluation silently stays serial.
+    size_t threads = 1;
+    /// Upper bound on rows per morsel of the outermost extent.
+    size_t morsel_size = exec::kDefaultMorselSize;
+    /// Reusable pool; when null an ephemeral pool is created.
+    exec::WorkerPool* pool = nullptr;
+  };
+
   Interpreter(const Catalog* catalog, ObjectStore* store,
               MethodRegistry* methods)
       : evaluator_(catalog, store, methods) {}
 
   /// Runs the query; the result is a SET of access-expression values
   /// (VQL results have set semantics like the §4.1 algebra).
-  Result<Value> Run(const BoundQuery& query) const;
+  Result<Value> Run(const BoundQuery& query) const {
+    return Run(query, Options());
+  }
+  Result<Value> Run(const BoundQuery& query,
+                    const Options& options) const;
 
   const ExprEvaluator& evaluator() const { return evaluator_; }
 
@@ -38,10 +65,19 @@ class Interpreter {
     exec::RowBatch batch;            // one column per name
   };
 
-  Status RunRanges(const BoundQuery& query, size_t index, Env* env,
-                   Pending* pending, std::vector<Value>* out) const;
-  Status Flush(const BoundQuery& query, Pending* pending,
-               std::vector<Value>* out) const;
+  Status RunRanges(const BoundQuery& query, const Options& options,
+                   size_t index, Env* env, Pending* pending,
+                   std::vector<Value>* out) const;
+  Status Flush(const BoundQuery& query, const Options& options,
+               Pending* pending, std::vector<Value>* out) const;
+  /// Serial evaluation of ranges [first_range, ...] under `env`.
+  Status RunFrom(const BoundQuery& query, const Options& options,
+                 size_t first_range, Env env,
+                 std::vector<Value>* out) const;
+  /// Morsel-parallel evaluation of the outermost extent range.
+  Status RunParallel(const BoundQuery& query, const Options& options,
+                     const std::vector<Oid>& extent, size_t threads,
+                     std::vector<Value>* out) const;
 
   ExprEvaluator evaluator_;
 };

@@ -91,6 +91,47 @@ TEST(ObjectStoreTest, StatsCounters) {
   EXPECT_EQ(store.stats().property_reads, 0u);
 }
 
+TEST(ObjectStoreTest, PropertyColumnRangeScoped) {
+  ObjectStore store;
+  uint32_t cls = store.RegisterClass("Doc", 1);
+  std::vector<uint32_t> locals;
+  for (int i = 0; i < 6; ++i) {
+    Oid oid = store.CreateObject(cls).value();
+    ASSERT_TRUE(store.SetProperty(oid, 0, Value::Int(i)).ok());
+    locals.push_back(oid.local);
+  }
+  store.mutable_stats()->Reset();
+
+  // Disjoint slices of one shared locals vector, as morsel workers
+  // read them; together they cover the column exactly.
+  std::vector<Value> head;
+  std::vector<Value> tail;
+  ASSERT_TRUE(
+      store.GetPropertyColumn(cls, 0, locals, 0, 4, &head).ok());
+  ASSERT_TRUE(
+      store.GetPropertyColumn(cls, 0, locals, 4, 6, &tail).ok());
+  ASSERT_EQ(head.size(), 4u);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(head[0], Value::Int(0));
+  EXPECT_EQ(head[3], Value::Int(3));
+  EXPECT_EQ(tail[0], Value::Int(4));
+  EXPECT_EQ(tail[1], Value::Int(5));
+  // Still counted per object, like the full-column overload.
+  EXPECT_EQ(store.stats().property_reads, 6u);
+
+  // Out-of-bounds ranges are rejected.
+  std::vector<Value> out;
+  EXPECT_FALSE(store.GetPropertyColumn(cls, 0, locals, 4, 2, &out).ok());
+  EXPECT_FALSE(store.GetPropertyColumn(cls, 0, locals, 0, 7, &out).ok());
+
+  // The legacy whole-vector overload agrees with slice concatenation.
+  std::vector<Value> full;
+  ASSERT_TRUE(store.GetPropertyColumn(cls, 0, locals, &full).ok());
+  ASSERT_EQ(full.size(), 6u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(full[i], head[i]);
+  for (size_t i = 0; i < 2; ++i) EXPECT_EQ(full[4 + i], tail[i]);
+}
+
 TEST(ObjectStoreTest, DanglingOidRejected) {
   ObjectStore store;
   store.RegisterClass("Doc", 1);
