@@ -9,10 +9,24 @@
 // the JSON records hardware_concurrency so single-core CI runs are
 // interpretable).
 //
-// Flags: --docs=N    corpus size in documents (default 8350 -> ~100k
-//                    paragraphs with 3 sections x 4 paragraphs each)
-//        --reps=N    timed repetitions per mode (default 5)
-//        --json=PATH machine-readable results for the perf trajectory
+// A second section (X8) measures the set-at-a-time method ABI on the
+// paper's own workload shape — WHERE clauses calling external methods:
+// the IR predicate `p->contains_string(s)` (batch dispatch amortizes
+// the content-column read and query tokenization) and the IR retrieval
+// `p IS-IN Paragraph->retrieve_by_string(s)` (batch dispatch dedups the
+// constant argument into ONE postings intersection per ~1024-row batch,
+// where the row pipeline probes the index once per row). The method
+// corpus is capped (--method-docs) because the row-mode probe storm is
+// quadratic-ish in corpus size; the JSON records the probe counts so
+// the amortization is checkable, not just the wall clock.
+//
+// Flags: --docs=N        corpus size in documents (default 8350 ->
+//                        ~100k paragraphs, 3 sections x 4 paragraphs)
+//        --method-docs=N corpus size for the method workloads
+//                        (default min(docs, 800))
+//        --reps=N        timed repetitions per mode (default 5)
+//        --json=PATH     machine-readable scan+parallel results
+//        --json-method=PATH machine-readable method-ABI results
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -114,26 +128,73 @@ struct ParallelPoint {
   double speedup_vs_threads1 = 0.0;
 };
 
+/// Row-vs-batch timings for one method-ABI workload, plus the external
+/// index probe counts that prove the set-at-a-time amortization.
+struct MethodPoint {
+  const char* key = "";
+  const char* vql = "";
+  double row_ms = 0.0;
+  double batch_ms = 0.0;
+  size_t hits = 0;
+  uint64_t probes_row = 0;    // IR searches during one row drain
+  uint64_t probes_batch = 0;  // IR searches during one batch drain
+};
+
+/// Times one method workload through both pipelines and records the IR
+/// probe counts of a single drain of each.
+MethodPoint RunMethodWorkload(workload::DocumentDb* db, const char* key,
+                              const char* vql, int reps) {
+  MethodPoint point;
+  point.key = key;
+  point.vql = vql;
+  PlanFixture fixture = MakePlan(db, vql);
+  db->ResetCounters();
+  auto warm_row = RunOnce(fixture, exec::ExecMode::kRow);
+  point.probes_row = db->paragraph_index().search_count();
+  db->ResetCounters();
+  auto warm_batch = RunOnce(fixture, exec::ExecMode::kBatch);
+  point.probes_batch = db->paragraph_index().search_count();
+  VODAK_CHECK(warm_row.second == warm_batch.second)
+      << key << ": row/batch cardinality mismatch: " << warm_row.second
+      << " vs " << warm_batch.second;
+  point.hits = warm_row.second;
+  for (int r = 0; r < reps; ++r) {
+    point.row_ms += RunOnce(fixture, exec::ExecMode::kRow).first;
+    point.batch_ms += RunOnce(fixture, exec::ExecMode::kBatch).first;
+  }
+  point.row_ms /= reps;
+  point.batch_ms /= reps;
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint32_t docs = 8350;
+  uint32_t method_docs = 0;  // 0 = min(docs, 800)
   int reps = 5;
   std::string json_path;
+  std::string json_method_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--docs=", 7) == 0) {
       docs = static_cast<uint32_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--method-docs=", 14) == 0) {
+      method_docs = static_cast<uint32_t>(std::atoi(argv[i] + 14));
     } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
       reps = std::atoi(argv[i] + 7);
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--json-method=", 14) == 0) {
+      json_method_path = argv[i] + 14;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--docs=N] [--reps=N] [--json=PATH]\n",
+                   "usage: %s [--docs=N] [--method-docs=N] [--reps=N] "
+                   "[--json=PATH] [--json-method=PATH]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (method_docs == 0) method_docs = docs < 800 ? docs : 800;
 
   workload::CorpusParams params;
   params.num_documents = docs;
@@ -254,6 +315,78 @@ int main(int argc, char** argv) {
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("json written to %s\n", json_path.c_str());
+  }
+
+  // -------- X8: set-at-a-time method dispatch on external methods.
+  const size_t method_paragraphs = static_cast<size_t>(method_docs) * 3 * 4;
+  // The scan corpus is reused when it already has the right size (the
+  // CI smoke shape); otherwise a capped method corpus is built — the
+  // row pipeline's one-probe-per-row storm makes larger ones pointless.
+  workload::DocumentDb mdb_storage;
+  workload::DocumentDb* mdb = &db;
+  if (method_docs != docs) {
+    std::printf(
+        "\nbuilding method corpus: %u documents, %zu paragraphs...\n",
+        method_docs, method_paragraphs);
+    workload::CorpusParams mparams = params;
+    mparams.num_documents = method_docs;
+    VODAK_CHECK(mdb_storage.Init().ok());
+    VODAK_CHECK(mdb_storage.Populate(mparams).ok());
+    mdb = &mdb_storage;
+  }
+
+  std::vector<MethodPoint> method_points;
+  method_points.push_back(RunMethodWorkload(
+      mdb, "contains_string",
+      "ACCESS p FROM p IN Paragraph WHERE "
+      "p->contains_string('implementation')",
+      reps));
+  method_points.push_back(RunMethodWorkload(
+      mdb, "retrieve_is_in",
+      "ACCESS p FROM p IN Paragraph WHERE p IS-IN "
+      "Paragraph->retrieve_by_string('implementation')",
+      reps));
+  for (const MethodPoint& p : method_points) {
+    std::printf("method workload %-16s %8.2f ms row  %8.2f ms batch  "
+                "%5.2fx  (IR probes: %llu row vs %llu batch)\n",
+                p.key, p.row_ms, p.batch_ms, p.row_ms / p.batch_ms,
+                static_cast<unsigned long long>(p.probes_row),
+                static_cast<unsigned long long>(p.probes_batch));
+  }
+
+  if (!json_method_path.empty()) {
+    std::FILE* f = std::fopen(json_method_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   json_method_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"method_batch\",\n");
+    std::fprintf(f, "  \"method_docs\": %u,\n", method_docs);
+    std::fprintf(f, "  \"paragraphs\": %zu,\n", method_paragraphs);
+    std::fprintf(f, "  \"reps\": %d,\n", reps);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (size_t i = 0; i < method_points.size(); ++i) {
+      const MethodPoint& p = method_points[i];
+      std::fprintf(
+          f,
+          "    {\"workload\": \"%s\", \"vql\": \"%s\", \"hits\": %zu,\n"
+          "     \"row_ms\": %.3f, \"batch_ms\": %.3f, "
+          "\"batch_vs_row_speedup\": %.3f,\n"
+          "     \"ir_probes_row\": %llu, \"ir_probes_batch\": %llu}%s\n",
+          p.key, p.vql, p.hits, p.row_ms, p.batch_ms,
+          p.row_ms / p.batch_ms,
+          static_cast<unsigned long long>(p.probes_row),
+          static_cast<unsigned long long>(p.probes_batch),
+          i + 1 < method_points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("json written to %s\n", json_method_path.c_str());
   }
   return 0;
 }

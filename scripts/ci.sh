@@ -38,6 +38,26 @@ if [[ -n "$SANITIZE" ]]; then
   exit 0
 fi
 
+echo "== docs check =="
+# The executor book is a deliverable: a build that drops it (or unlinks
+# it from the README) fails here, not in review.
+if [[ ! -f docs/ARCHITECTURE.md ]]; then
+  echo "ci.sh: docs/ARCHITECTURE.md is missing" >&2
+  exit 1
+fi
+if [[ ! -f docs/BENCHMARKS.md ]]; then
+  echo "ci.sh: docs/BENCHMARKS.md is missing" >&2
+  exit 1
+fi
+if ! grep -q "docs/ARCHITECTURE.md" README.md; then
+  echo "ci.sh: README.md does not link docs/ARCHITECTURE.md" >&2
+  exit 1
+fi
+if ! grep -q "docs/BENCHMARKS.md" README.md; then
+  echo "ci.sh: README.md does not link docs/BENCHMARKS.md" >&2
+  exit 1
+fi
+
 : "${BUILD_DIR:=build}"
 echo "== tier-1: configure + build + ctest =="
 cmake -B "$BUILD_DIR" -S . \
@@ -64,10 +84,12 @@ if [[ ${#BENCHES[@]} -eq 0 ]]; then
 fi
 
 # The batch-executor bench has its own flags; a tiny corpus suffices to
-# prove it runs end to end. Its machine-readable output seeds the perf
-# trajectory (archived by the CI workflow).
+# prove it runs end to end. Its machine-readable outputs (scan+parallel
+# and the method-ABI record) seed the perf trajectory (archived by the
+# CI workflow); docs/BENCHMARKS.md documents both field by field.
 "$BUILD_DIR"/bench_batch_exec --docs=200 --reps=2 \
-                              --json=BENCH_parallel_exec.json
+                              --json=BENCH_parallel_exec.json \
+                              --json-method=BENCH_method_batch.json
 
 # Google-benchmark binaries: run only the smallest Arg() variant of each
 # benchmark (plus arg-less ones) with a minimal measuring time.

@@ -1,3 +1,5 @@
+// Morsels: the atomic-cursor unit of work stealing in the parallel
+// pipeline (docs/ARCHITECTURE.md §"Morsel-driven parallelism").
 #ifndef VODAK_EXEC_MORSEL_SOURCE_H_
 #define VODAK_EXEC_MORSEL_SOURCE_H_
 

@@ -1,3 +1,7 @@
+// Morsel-driven parallel drivers over the NextBatch pipeline. The
+// driving-path analysis, shared-build rules and the serial-fallback
+// conditions are documented in docs/ARCHITECTURE.md §"Morsel-driven
+// parallelism" and §"Serial-fallback rules".
 #ifndef VODAK_EXEC_PARALLEL_H_
 #define VODAK_EXEC_PARALLEL_H_
 

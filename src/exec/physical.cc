@@ -171,7 +171,10 @@ class ExprSourceScan : public PhysOperator {
         expr_(std::move(expr)) {}
 
   Status Open() override {
-    VODAK_ASSIGN_OR_RETURN(Value set, evaluator_.Eval(expr_, {}));
+    // EvalClosed routes the (closed) scan parameter through the batched
+    // evaluator, so an external method behind the scan is dispatched
+    // through the same set-at-a-time ABI as per-row method calls.
+    VODAK_ASSIGN_OR_RETURN(Value set, evaluator_.EvalClosed(expr_));
     if (set.is_null()) {
       elements_.clear();
     } else if (set.is_set()) {
@@ -1170,7 +1173,7 @@ Result<ParallelPlanStatePtr> PrepareParallelPlan(const LogicalRef& plan,
     state->leaf_is_extent = true;
   } else {
     ExprEvaluator evaluator(ctx.catalog, ctx.store, ctx.methods);
-    VODAK_ASSIGN_OR_RETURN(Value set, evaluator.Eval(node->expr(), {}));
+    VODAK_ASSIGN_OR_RETURN(Value set, evaluator.EvalClosed(node->expr()));
     if (set.is_null()) {
       state->elements.clear();
     } else if (set.is_set()) {

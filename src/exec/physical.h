@@ -1,3 +1,9 @@
+// Physical operators: the batch-at-a-time (NextBatch) pipeline with
+// the row-at-a-time Volcano path kept as the semantic oracle. The
+// operator-by-operator batch behavior, the batch/row drain exclusivity
+// rule and the parallel worker-clone machinery are documented in
+// docs/ARCHITECTURE.md §"The NextBatch pipeline" and §"Morsel-driven
+// parallelism".
 #ifndef VODAK_EXEC_PHYSICAL_H_
 #define VODAK_EXEC_PHYSICAL_H_
 

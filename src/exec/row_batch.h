@@ -1,3 +1,7 @@
+// RowBatch: the column-major unit of the vectorized executor. Layout
+// and invariants (column/row-count coupling, never-empty returns,
+// in-place compaction) are documented in docs/ARCHITECTURE.md
+// §"RowBatch: the unit of execution".
 #ifndef VODAK_EXEC_ROW_BATCH_H_
 #define VODAK_EXEC_ROW_BATCH_H_
 

@@ -1,3 +1,5 @@
+// Fixed worker pool behind the morsel-driven drivers
+// (docs/ARCHITECTURE.md §"Morsel-driven parallelism").
 #ifndef VODAK_EXEC_WORKER_POOL_H_
 #define VODAK_EXEC_WORKER_POOL_H_
 

@@ -13,8 +13,9 @@ namespace vodak {
 /// Variable bindings for one evaluation (query variable -> value).
 using Env = std::map<std::string, Value>;
 
-/// One value per row of a batch; the unit of batched evaluation.
-using ValueColumn = std::vector<Value>;
+// ValueColumn — one value per row of a batch, the unit of batched
+// evaluation — lives in methods/method_registry.h, shared with the
+// set-at-a-time method ABI.
 
 /// Batch variable bindings: a non-owning view mapping reference names to
 /// value columns of a common length. names and columns are parallel.
@@ -65,6 +66,13 @@ class ExprEvaluator {
   Status EvalPredicateBatch(const ExprRef& e, const BatchEnv& env,
                             std::vector<char>* keep) const;
 
+  /// Evaluates a closed (variable-free) expression — a method-scan
+  /// parameter like `Paragraph->retrieve_by_string('s')` — through the
+  /// batched entry point (a one-row, zero-column environment), so
+  /// external method dispatch is uniformly set-at-a-time even for the
+  /// scan leaves. Semantically identical to Eval(e, {}).
+  Result<Value> EvalClosed(const ExprRef& e) const;
+
   const Catalog* catalog() const { return catalog_; }
   ObjectStore* store() const { return store_; }
   MethodRegistry* methods() const { return methods_; }
@@ -85,6 +93,14 @@ class ExprEvaluator {
   /// resolution cached across consecutive rows of the same class.
   Result<ValueColumn> EvalPropertyColumn(const ValueColumn& base,
                                          const std::string& prop) const;
+
+  /// Column-wise instance-method invocation: contiguous runs of plain
+  /// Oid receivers go through MethodRegistry::InvokeInstanceBatch (the
+  /// set-at-a-time ABI); NULL receivers yield NIL and set-valued
+  /// receivers take the scalar set-lifting path, all in row order.
+  Result<ValueColumn> EvalMethodColumn(
+      const ValueColumn& base, const std::string& method,
+      const std::vector<ValueColumn>& args) const;
 
   /// Resolves a batch operand to a column: bare variables borrow the
   /// environment's column (no batch-sized copy); anything else is

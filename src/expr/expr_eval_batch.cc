@@ -150,6 +150,55 @@ Result<ValueColumn> ExprEvaluator::EvalPropertyColumn(
   return out;
 }
 
+Result<ValueColumn> ExprEvaluator::EvalMethodColumn(
+    const ValueColumn& base, const std::string& method,
+    const std::vector<ValueColumn>& args) const {
+  const size_t n = base.size();
+  ValueColumn out;
+  out.reserve(n);
+  MethodCallContext ctx{catalog_, store_, methods_, 0};
+  // Contiguous runs of plain Oid receivers are dispatched through the
+  // set-at-a-time ABI; NULL receivers yield NIL without a dispatch (they
+  // are exactly the rows a row-at-a-time evaluation would have skipped),
+  // and set-valued receivers take the scalar set-lifting path. Runs keep
+  // row order, so results and first-error behavior match the row loop.
+  ValueColumn run_selves;
+  std::vector<ValueColumn> run_args(args.size());
+  auto flush_run = [&]() -> Status {
+    if (run_selves.empty()) return Status::OK();
+    VODAK_RETURN_IF_ERROR(methods_->InvokeInstanceBatch(
+        ctx, run_selves, method, run_args, &out));
+    run_selves.clear();
+    for (ValueColumn& col : run_args) col.clear();
+    return Status::OK();
+  };
+  std::vector<Value> scalar_args(args.size());
+  for (size_t i = 0; i < n; ++i) {
+    const Value& self = base[i];
+    if (self.is_oid() || self.is_null()) {
+      run_selves.push_back(self);
+      for (size_t a = 0; a < args.size(); ++a) {
+        run_args[a].push_back(args[a][i]);
+      }
+      continue;
+    }
+    VODAK_RETURN_IF_ERROR(flush_run());
+    for (size_t a = 0; a < args.size(); ++a) scalar_args[a] = args[a][i];
+    VODAK_ASSIGN_OR_RETURN(Value v, EvalMethod(self, method, scalar_args));
+    out.push_back(std::move(v));
+  }
+  VODAK_RETURN_IF_ERROR(flush_run());
+  return out;
+}
+
+Result<Value> ExprEvaluator::EvalClosed(const ExprRef& e) const {
+  static const std::vector<std::string> kNoNames;
+  static const std::vector<ValueColumn> kNoColumns;
+  VODAK_ASSIGN_OR_RETURN(
+      ValueColumn col, EvalBatch(e, BatchEnv{&kNoNames, &kNoColumns, 1}));
+  return std::move(col[0]);
+}
+
 Result<ValueColumn> ExprEvaluator::EvalBatch(const ExprRef& e,
                                              const BatchEnv& env) const {
   const size_t n = env.num_rows;
@@ -186,18 +235,7 @@ Result<ValueColumn> ExprEvaluator::EvalBatch(const ExprRef& e,
         VODAK_ASSIGN_OR_RETURN(ValueColumn col, EvalBatch(arg, env));
         arg_cols.push_back(std::move(col));
       }
-      ValueColumn out;
-      out.reserve(n);
-      std::vector<Value> args(arg_cols.size());
-      for (size_t i = 0; i < n; ++i) {
-        for (size_t a = 0; a < arg_cols.size(); ++a) {
-          args[a] = arg_cols[a][i];
-        }
-        VODAK_ASSIGN_OR_RETURN(Value v,
-                               EvalMethod(base[i], e->method(), args));
-        out.push_back(std::move(v));
-      }
-      return out;
+      return EvalMethodColumn(base, e->method(), arg_cols);
     }
     case ExprKind::kClassMethodCall: {
       std::vector<ValueColumn> arg_cols;
@@ -206,19 +244,14 @@ Result<ValueColumn> ExprEvaluator::EvalBatch(const ExprRef& e,
         VODAK_ASSIGN_OR_RETURN(ValueColumn col, EvalBatch(arg, env));
         arg_cols.push_back(std::move(col));
       }
+      // One set-at-a-time dispatch for the whole batch: a native batch
+      // implementation typically dedups repeated argument rows (the
+      // common constant-argument shape) into a single external probe.
       ValueColumn out;
       out.reserve(n);
-      std::vector<Value> args(arg_cols.size());
-      for (size_t i = 0; i < n; ++i) {
-        for (size_t a = 0; a < arg_cols.size(); ++a) {
-          args[a] = arg_cols[a][i];
-        }
-        MethodCallContext ctx{catalog_, store_, methods_, 0};
-        VODAK_ASSIGN_OR_RETURN(
-            Value v, methods_->InvokeClass(ctx, e->name(), e->method(),
-                                           args));
-        out.push_back(std::move(v));
-      }
+      MethodCallContext ctx{catalog_, store_, methods_, 0};
+      VODAK_RETURN_IF_ERROR(methods_->InvokeClassBatch(
+          ctx, e->name(), e->method(), n, arg_cols, &out));
       return out;
     }
     case ExprKind::kBinary: {

@@ -48,9 +48,13 @@ std::vector<Oid> InvertedTextIndex::Search(std::string_view query) const {
   return result;
 }
 
-bool InvertedTextIndex::MatchesText(std::string_view text,
-                                    std::string_view query) {
-  std::vector<std::string> query_tokens = TokenizeWords(query);
+std::vector<std::string> InvertedTextIndex::QueryTokens(
+    std::string_view query) {
+  return TokenizeWords(query);
+}
+
+bool InvertedTextIndex::MatchesTokens(
+    std::string_view text, const std::vector<std::string>& query_tokens) {
   if (query_tokens.empty()) return false;
   std::vector<std::string> text_tokens = TokenizeWords(text);
   std::sort(text_tokens.begin(), text_tokens.end());
@@ -61,6 +65,11 @@ bool InvertedTextIndex::MatchesText(std::string_view text,
     }
   }
   return true;
+}
+
+bool InvertedTextIndex::MatchesText(std::string_view text,
+                                    std::string_view query) {
+  return MatchesTokens(text, QueryTokens(query));
 }
 
 uint64_t InvertedTextIndex::DocumentFrequency(

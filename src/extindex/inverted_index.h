@@ -41,6 +41,18 @@ class InvertedTextIndex {
   /// shared semantics for `contains_string`.
   static bool MatchesText(std::string_view text, std::string_view query);
 
+  /// Tokenization half of MatchesText, split out so a set-at-a-time
+  /// `contains_string` dispatch tokenizes the query once per batch
+  /// instead of once per row.
+  static std::vector<std::string> QueryTokens(std::string_view query);
+
+  /// Matching half of MatchesText against pre-tokenized query tokens.
+  /// MatchesText(text, q) == MatchesTokens(text, QueryTokens(q)) for a
+  /// non-empty token list; an empty list means "no match" (MatchesText
+  /// returns false for token-free queries).
+  static bool MatchesTokens(std::string_view text,
+                            const std::vector<std::string>& query_tokens);
+
   /// Document frequency of `word` (selectivity statistic for the cost
   /// model: the optimizer estimates |retrieve_by_string(s)| ≈ df).
   uint64_t DocumentFrequency(const std::string& word) const;

@@ -1,3 +1,7 @@
+// Method registry: implementation dispatch for instance/class-object
+// methods, including the set-at-a-time (batch) method ABI. The ABI and
+// its masking rules are documented in docs/ARCHITECTURE.md §"The batch
+// method ABI".
 #ifndef VODAK_METHODS_METHOD_REGISTRY_H_
 #define VODAK_METHODS_METHOD_REGISTRY_H_
 
@@ -17,6 +21,11 @@ namespace vodak {
 
 class MethodRegistry;
 
+/// One value per row of a batch. This is the unit of set-at-a-time
+/// method dispatch and of batched expression evaluation (expr/expr_eval.h
+/// builds its batch environments from these columns).
+using ValueColumn = std::vector<Value>;
+
 /// Everything a method body may touch. Native method implementations
 /// receive this so that internally-encoded methods (like
 /// `Paragraph::document`) can read properties and invoke other methods,
@@ -35,6 +44,27 @@ struct MethodCallContext {
 using NativeFn = std::function<Result<Value>(
     MethodCallContext&, const Value& self, const std::vector<Value>& args)>;
 
+/// A native set-at-a-time method body: one dispatch evaluates the method
+/// for a whole batch of rows, so an external implementation can amortize
+/// its fixed work (index probes, argument tokenization, property-column
+/// reads, stats bumps) across the batch.
+///
+/// Contract (see docs/ARCHITECTURE.md):
+///  - Instance methods: `selves` holds `num_rows` receiver Oid values —
+///    never NULL and all of the same class (the registry splits
+///    heterogeneous batches into class-homogeneous runs and strips NULL
+///    receivers before dispatch, so masked rows can never reach a body).
+///  - Class-object methods: `selves` is empty; `num_rows` gives the
+///    batch size.
+///  - `args[a][i]` is argument `a` of row `i`; arity is pre-checked.
+///  - The body must append exactly `num_rows` results to `*out`, row i's
+///    result at position out-size-on-entry + i, and must fail (return a
+///    non-OK Status) exactly when the scalar form would fail on at least
+///    one row of the batch.
+using NativeBatchFn = std::function<Status(
+    MethodCallContext&, const ValueColumn& selves, size_t num_rows,
+    const std::vector<ValueColumn>& args, ValueColumn* out)>;
+
 /// The paper's implementation dimension (§2.1): internally encoded
 /// (kPath covers the `RETURN section.document` style; kNative with
 /// `is_external=false` covers other internal code), externally
@@ -46,6 +76,10 @@ enum class MethodImplKind { kNative, kPath, kQueryDefined };
 struct MethodImpl {
   MethodImplKind kind = MethodImplKind::kNative;
   NativeFn native;
+  /// Optional set-at-a-time implementation. When present, the batch
+  /// entry points dispatch whole (masked, class-homogeneous) batches to
+  /// it; when absent they fall back to a row loop over `native`/`path`.
+  NativeBatchFn native_batch;
   /// For kPath: the property chain, e.g. {"section", "document"}.
   std::vector<std::string> path;
   /// For kQueryDefined: the VQL text (documentation / rule derivation);
@@ -58,12 +92,21 @@ struct MethodImpl {
 /// Optimizer-facing cost annotations (§2.3: "attributes are assumed to be
 /// obtained at uniform access cost. This is not true for methods").
 struct MethodCost {
-  /// Abstract cost units per invocation (property read = 1.0).
+  /// Abstract cost units of the *marginal* per-row work of one
+  /// invocation (property read = 1.0). For methods without a batch
+  /// implementation this is the whole per-call cost, exactly as before
+  /// the set-at-a-time ABI.
   double per_call = 1.0;
   /// For boolean methods: fraction of receivers evaluating to TRUE.
   double selectivity = 0.5;
   /// For set-valued methods: expected result cardinality.
   double fanout = 1.0;
+  /// Fixed per-dispatch setup cost that a batch implementation pays once
+  /// per batch and amortizes across its rows (index probe, query
+  /// tokenization, property-slot resolution). 0 for scalar-only methods;
+  /// the cost model divides it by the assumed batch size when pricing
+  /// per-row method calls under the batch ABI.
+  double batch_setup = 0.0;
 };
 
 /// Registry of method implementations and runtime statistics, keyed by
@@ -75,8 +118,15 @@ class MethodRegistry {
     MethodSig sig;
     MethodImpl impl;
     MethodCost cost;
+    /// Dispatches of the implementation. A scalar dispatch counts 1 per
+    /// row; a native batch dispatch counts 1 per *batch* — that is the
+    /// observable amortization the method_batch_test counters assert.
     /// Relaxed atomic: dispatch is counted from parallel morsel workers.
     mutable std::atomic<uint64_t> invocations{0};
+    /// Set-at-a-time dispatches (one per batch handed to native_batch).
+    mutable std::atomic<uint64_t> batch_invocations{0};
+    /// Rows evaluated through native_batch dispatches.
+    mutable std::atomic<uint64_t> batch_rows{0};
 
     RegisteredMethod() = default;
     // Moved once at registration time (atomics are not movable).
@@ -85,7 +135,10 @@ class MethodRegistry {
           impl(std::move(other.impl)),
           cost(other.cost),
           invocations(
-              other.invocations.load(std::memory_order_relaxed)) {}
+              other.invocations.load(std::memory_order_relaxed)),
+          batch_invocations(
+              other.batch_invocations.load(std::memory_order_relaxed)),
+          batch_rows(other.batch_rows.load(std::memory_order_relaxed)) {}
   };
 
   MethodRegistry() = default;
@@ -129,9 +182,45 @@ class MethodRegistry {
                             const std::string& method,
                             const std::vector<Value>& args) const;
 
+  /// Set-at-a-time dispatch of an instance method: appends one result
+  /// per row of `selves` to `*out`, in row order, semantically identical
+  /// to calling InvokeInstance row by row except that rows whose
+  /// receiver is NULL (the null Value or a null Oid) yield NIL *without
+  /// invoking the method* — the callers' mask/short-circuit machinery
+  /// (expr/expr_eval_batch.cc) represents masked-out rows that way.
+  /// `args` holds one column per declared parameter, each selves.size()
+  /// rows long. Consecutive same-class receivers with a native_batch
+  /// implementation are dispatched as one batch; everything else falls
+  /// back to a per-row scalar dispatch that preserves today's semantics
+  /// (and per-row invocation counts) exactly.
+  Status InvokeInstanceBatch(MethodCallContext& ctx,
+                             const ValueColumn& selves,
+                             const std::string& method,
+                             const std::vector<ValueColumn>& args,
+                             ValueColumn* out) const;
+
+  /// Set-at-a-time dispatch of a class-object method over `num_rows`
+  /// rows of argument columns. A native_batch implementation receives
+  /// the whole batch at once (and typically dedups repeated argument
+  /// rows into one external probe); otherwise each row is dispatched
+  /// through the scalar implementation.
+  Status InvokeClassBatch(MethodCallContext& ctx,
+                          const std::string& class_name,
+                          const std::string& method, size_t num_rows,
+                          const std::vector<ValueColumn>& args,
+                          ValueColumn* out) const;
+
   uint64_t invocation_count(const std::string& class_name,
                             const std::string& method,
                             MethodLevel level) const;
+  /// Set-at-a-time dispatches (batches handed to a native_batch body).
+  uint64_t batch_invocation_count(const std::string& class_name,
+                                  const std::string& method,
+                                  MethodLevel level) const;
+  /// Rows evaluated through native_batch dispatches.
+  uint64_t batch_row_count(const std::string& class_name,
+                           const std::string& method,
+                           MethodLevel level) const;
   void ResetCounters();
 
   /// Total method invocations since construction/reset.
@@ -154,6 +243,14 @@ class MethodRegistry {
   Result<Value> Dispatch(MethodCallContext& ctx,
                          const RegisteredMethod& method, const Value& self,
                          const std::vector<Value>& args) const;
+
+  /// One class-homogeneous run of a batch dispatch: rows [begin, end) of
+  /// selves/args all have class `reg`. Uses native_batch when available,
+  /// otherwise the scalar row loop.
+  Status DispatchRun(MethodCallContext& ctx, const RegisteredMethod& reg,
+                     const ValueColumn& selves,
+                     const std::vector<ValueColumn>& args, size_t begin,
+                     size_t end, ValueColumn* out) const;
 
   Result<Value> EvalPath(MethodCallContext& ctx,
                          const std::vector<std::string>& path,

@@ -58,7 +58,7 @@ MethodStats CostModel::StatsForCall(const ExprRef& call) const {
   }
   if (reg == nullptr) return MethodStats{};
   return MethodStats{reg->cost.per_call, reg->cost.selectivity,
-                     reg->cost.fanout};
+                     reg->cost.fanout, reg->cost.batch_setup};
 }
 
 double CostModel::ExprCost(const ExprRef& expr) const {
@@ -73,12 +73,20 @@ double CostModel::ExprCost(const ExprRef& expr) const {
       double cost = ExprCost(expr->base());
       for (const auto& arg : expr->args()) cost += ExprCost(arg);
       MethodStats stats = StatsForCall(expr);
-      return cost + stats.per_call * std::max(1.0, Fanout(expr->base()));
+      // Per-receiver price under the set-at-a-time ABI: the marginal
+      // per-row work plus this row's share of the per-batch setup.
+      double per_row =
+          stats.per_call + stats.batch_setup / kAssumedBatchRows;
+      return cost + per_row * std::max(1.0, Fanout(expr->base()));
     }
     case ExprKind::kClassMethodCall: {
       double cost = 0.0;
       for (const auto& arg : expr->args()) cost += ExprCost(arg);
-      return cost + StatsForCall(expr).per_call;
+      // One full dispatch: as a method-scan parameter the call runs once
+      // per query, and inside a per-row predicate the constant-argument
+      // batch implementations dedup it to one probe per batch anyway.
+      MethodStats stats = StatsForCall(expr);
+      return cost + stats.per_call + stats.batch_setup;
     }
     case ExprKind::kBinary:
       return ExprCost(expr->lhs()) + ExprCost(expr->rhs()) + kOpCost;

@@ -19,9 +19,14 @@ namespace opt {
 /// value wins, the registry's static MethodCost annotation is the
 /// fallback.
 struct MethodStats {
+  /// Marginal per-row cost of one invocation under the set-at-a-time
+  /// ABI (the whole per-call cost for scalar-only methods).
   double per_call = 1.0;
   double selectivity = 0.5;
   double fanout = 1.0;
+  /// Per-dispatch setup a batch implementation pays once per batch
+  /// (index probe, tokenization); see MethodCost::batch_setup.
+  double batch_setup = 0.0;
 };
 
 using MethodStatsProvider = std::function<std::optional<MethodStats>(
@@ -32,8 +37,18 @@ using MethodStatsProvider = std::function<std::optional<MethodStats>(
 /// demands: attribute access has uniform unit cost, while each method
 /// carries its own per-call cost, selectivity and fanout. Costs are
 /// abstract units (1.0 = one property read).
+///
+/// The model prices the *batched* executor: per-row instance-method
+/// calls amortize their batch_setup over kAssumedBatchRows (the
+/// executor's ~1024-row batches dedup/share the setup across rows),
+/// while class-object calls are priced as one full dispatch — they are
+/// either method-scan parameters (invoked once per query) or deduped to
+/// one probe per batch by the constant-argument batch implementations.
 class CostModel {
  public:
+  /// Rows the executor's NextBatch pipeline typically moves per batch
+  /// (mirrors exec::kDefaultBatchSize without a layering dependency).
+  static constexpr double kAssumedBatchRows = 1024.0;
   CostModel(const Catalog* catalog, const ObjectStore* store,
             const MethodRegistry* methods,
             std::vector<MethodStatsProvider> providers = {});

@@ -28,9 +28,12 @@ class Interpreter {
   /// naive evaluation through the parallel worker infrastructure.
   struct Options {
     /// Evaluate WHERE/ACCESS row at a time through Eval/EvalPredicate,
-    /// bypassing EvalBatch entirely. This is the fully independent
-    /// oracle: it shares no batched-evaluation code with the physical
-    /// executor, so the parity sweeps can catch bugs in EvalBatch.
+    /// bypassing EvalBatch entirely — including the set-at-a-time
+    /// method ABI, whose scalar counterparts are used instead. This is
+    /// the fully independent oracle: it shares no batched-evaluation or
+    /// batch-dispatch code with the physical executor, so the parity
+    /// sweeps can catch bugs in EvalBatch and in native batch method
+    /// implementations alike (docs/ARCHITECTURE.md §"The oracles").
     bool row_mode = false;
     /// Worker threads for the outermost extent range (>1 splits it into
     /// morsels claimed from an atomic cursor; inner ranges stay nested

@@ -102,9 +102,11 @@ void InstallStatsProviders(engine::Database* session, DocumentDb* db) {
           }
           double selectivity =
               num_paragraphs > 0 ? df / num_paragraphs : 0.1;
+          // Marginal per-row body tokenization; the batch dispatch pays
+          // the column read + query tokenization once per batch.
           return opt::MethodStats{
               static_cast<double>(params.words_per_paragraph),
-              selectivity, 1.0};
+              selectivity, 1.0, 3.0};
         }
         if (method == "retrieve_by_string" &&
             level == MethodLevel::kClassObject) {
@@ -118,7 +120,9 @@ void InstallStatsProviders(engine::Database* session, DocumentDb* db) {
             df = first ? token_df : std::min(df, token_df);
             first = false;
           }
-          return opt::MethodStats{20.0 + df, 0.5, df};
+          // The postings intersection is per-batch setup under the
+          // set-at-a-time ABI; rows merely share the probed set.
+          return opt::MethodStats{1.0, 0.5, df, 20.0 + df};
         }
         if (method == "select_by_index" &&
             level == MethodLevel::kClassObject) {
@@ -126,7 +130,7 @@ void InstallStatsProviders(engine::Database* session, DocumentDb* db) {
           if (!s.has_value()) return std::nullopt;
           double hits = static_cast<double>(
               db->title_index().Lookup(*s).size());
-          return opt::MethodStats{10.0, 0.5, hits};
+          return opt::MethodStats{1.0, 0.5, hits, 10.0};
         }
         if (method == "paragraphs" && level == MethodLevel::kInstance) {
           // Document::paragraphs() (distinct from the Section property,
