@@ -31,9 +31,9 @@ if [[ -n "$SANITIZE" ]]; then
   cmake -B "$BUILD_DIR" -S . -DVODAK_SANITIZE="$SANITIZE" \
         ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"}
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
-        --target exec_batch_test exec_parallel_test
+        --target exec_batch_test exec_parallel_test exec_selvec_test
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-        -R 'exec_batch_test|exec_parallel_test'
+        -R 'exec_batch_test|exec_parallel_test|exec_selvec_test'
   echo "== ci.sh ($SANITIZE): all green =="
   exit 0
 fi
@@ -55,6 +55,21 @@ if ! grep -q "docs/ARCHITECTURE.md" README.md; then
 fi
 if ! grep -q "docs/BENCHMARKS.md" README.md; then
   echo "ci.sh: README.md does not link docs/BENCHMARKS.md" >&2
+  exit 1
+fi
+# New executor subsystems must keep their book sections (ROADMAP's
+# docs-upkeep rule): the selection-vector chapter with its operator
+# contract table, and the BENCH_selvec field documentation.
+if ! grep -q "^## Selection vectors" docs/ARCHITECTURE.md; then
+  echo "ci.sh: docs/ARCHITECTURE.md lost the 'Selection vectors' chapter" >&2
+  exit 1
+fi
+if ! grep -q "operator-contract" docs/ARCHITECTURE.md; then
+  echo "ci.sh: docs/ARCHITECTURE.md lost the operator-contract table" >&2
+  exit 1
+fi
+if ! grep -q "BENCH_selvec.json" docs/BENCHMARKS.md; then
+  echo "ci.sh: docs/BENCHMARKS.md does not document BENCH_selvec.json" >&2
   exit 1
 fi
 
@@ -84,12 +99,40 @@ if [[ ${#BENCHES[@]} -eq 0 ]]; then
 fi
 
 # The batch-executor bench has its own flags; a tiny corpus suffices to
-# prove it runs end to end. Its machine-readable outputs (scan+parallel
-# and the method-ABI record) seed the perf trajectory (archived by the
-# CI workflow); docs/BENCHMARKS.md documents both field by field.
+# prove it runs end to end. Its machine-readable outputs (scan+parallel,
+# the method-ABI record and the selection-chain record) seed the perf
+# trajectory (archived by the CI workflow); docs/BENCHMARKS.md documents
+# each field by field.
 "$BUILD_DIR"/bench_batch_exec --docs=200 --reps=2 \
                               --json=BENCH_parallel_exec.json \
-                              --json-method=BENCH_method_batch.json
+                              --json-method=BENCH_method_batch.json \
+                              --json-selvec=BENCH_selvec.json
+
+# Selection-chain regression gate: the marking pipeline must move
+# strictly fewer values than the compacting baseline, and must never
+# regress to more copies than scanned rows (the copy-tax bar from the
+# selection-vector PR). The record is flat one-field-per-line JSON, so
+# plain grep/sed extraction is stable.
+json_field() { sed -n "s/^ *\"$1\": \([0-9][0-9]*\).*/\1/p" BENCH_selvec.json; }
+SEL_MOVES="$(json_field selvec_moves_total)"
+BASE_MOVES="$(json_field compact_moves_total)"
+SEL_ROWS="$(json_field paragraphs)"
+if [[ -z "$SEL_MOVES" || -z "$BASE_MOVES" || -z "$SEL_ROWS" ]]; then
+  echo "ci.sh: BENCH_selvec.json is missing copy-counter fields" >&2
+  exit 1
+fi
+if (( SEL_MOVES >= BASE_MOVES )); then
+  echo "ci.sh: selection chain moved $SEL_MOVES values," \
+       "not fewer than the compacting baseline's $BASE_MOVES" >&2
+  exit 1
+fi
+if (( SEL_MOVES > SEL_ROWS )); then
+  echo "ci.sh: selection chain moved $SEL_MOVES values for only" \
+       "$SEL_ROWS scanned rows (copy tax regression)" >&2
+  exit 1
+fi
+echo "selection-chain copy gate: $SEL_MOVES moves (baseline $BASE_MOVES," \
+     "rows $SEL_ROWS) -- ok"
 
 # Google-benchmark binaries: run only the smallest Arg() variant of each
 # benchmark (plus arg-less ones) with a minimal measuring time.

@@ -36,6 +36,9 @@ Result<std::vector<Row>> SerialDrainRows(const algebra::LogicalRef& plan,
   for (;;) {
     VODAK_ASSIGN_OR_RETURN(bool more, root->NextBatch(&batch));
     if (!more) break;
+    // Row hand-off is a density boundary: every column crosses into the
+    // Row representation, so selected batches compact once here.
+    batch.Compact();
     for (size_t r = 0; r < batch.num_rows(); ++r) {
       batch.CopyRowTo(r, &row);
       rows.push_back(std::move(row));
@@ -59,6 +62,9 @@ Status DrainWorker(const algebra::LogicalRef& plan, const ExecContext& ctx,
   for (;;) {
     VODAK_ASSIGN_OR_RETURN(bool more, root->NextBatch(&batch));
     if (!more) break;
+    // Same density boundary as the serial drain: the morsel hand-off
+    // into the per-worker row buffer compacts the selected rows once.
+    batch.Compact();
     for (size_t r = 0; r < batch.num_rows(); ++r) {
       batch.CopyRowTo(r, &row);
       out->push_back(std::move(row));

@@ -50,6 +50,18 @@ Env EnvFromRow(const std::vector<std::string>& refs, const Row& row) {
   return env;
 }
 
+/// Batch environment over a batch's live rows: dense when the batch is
+/// dense, the selection view otherwise — so the expression layer only
+/// ever evaluates the selected rows. Callers must not pass an
+/// empty-selection batch (an empty selection has no data() to view);
+/// the pipeline's never-empty invariant guarantees they don't.
+BatchEnv EnvOfBatch(const std::vector<std::string>& refs,
+                    const RowBatch& batch) {
+  BatchEnv env{&refs, &batch.columns(), batch.num_rows()};
+  batch.ExportSelectionTo(&env);
+  return env;
+}
+
 /// Fills a single-column batch with up to kDefaultBatchSize elements
 /// taken from a source of `size` elements starting at `*pos`; `emit`
 /// maps a source index to the column value. Shared by the leaf scans.
@@ -278,14 +290,19 @@ class MorselScan : public PhysOperator {
   size_t end_ = 0;
 };
 
-/// Physical select<condition>.
+/// Physical select<condition>. Density contract (operator-contract
+/// table, docs/ARCHITECTURE.md §"Selection vectors"): accepts selected
+/// or dense batches, emits *selected* batches — survivors are marked in
+/// the selection vector, never moved. ExecContext::filter_compacts
+/// restores the compacting baseline for measurement.
 class Filter : public PhysOperator {
  public:
   Filter(const ExecContext& ctx, PhysOpPtr child, ExprRef cond)
       : PhysOperator(child->refs()),
         evaluator_(ctx.catalog, ctx.store, ctx.methods),
         child_(std::move(child)),
-        cond_(std::move(cond)) {}
+        cond_(std::move(cond)),
+        compacts_(ctx.filter_compacts) {}
 
   Status Open() override { return child_->Open(); }
   Result<bool> Next(Row* row) override {
@@ -302,14 +319,18 @@ class Filter : public PhysOperator {
     }
   }
   Result<bool> NextBatch(RowBatch* batch) override {
-    // refs_ == child refs, so the child's batch is filtered in place.
+    // refs_ == child refs, so the child's batch is filtered in place:
+    // the predicate is evaluated over the batch's selection view and
+    // survivors are marked by intersecting the selection — no column
+    // value moves. A stack of filters narrows one selection vector.
     for (;;) {
       VODAK_ASSIGN_OR_RETURN(bool more, child_->NextBatch(batch));
       if (!more) return false;
-      BatchEnv env{&refs_, &batch->columns(), batch->num_rows()};
+      BatchEnv env = EnvOfBatch(refs_, *batch);
       VODAK_RETURN_IF_ERROR(
           evaluator_.EvalPredicateBatch(cond_, env, &keep_));
-      size_t kept = batch->CompactRows(keep_);
+      size_t kept = batch->IntersectSelection(keep_);
+      if (compacts_) batch->Compact();
       if (kept > 0) {
         rows_produced_ += kept;
         return true;
@@ -327,6 +348,7 @@ class Filter : public PhysOperator {
   ExprEvaluator evaluator_;
   PhysOpPtr child_;
   ExprRef cond_;
+  bool compacts_;
   std::vector<char> keep_;
 };
 
@@ -441,7 +463,12 @@ class NestedLoopJoin : public PhysOperator {
 };
 
 /// Hash join on key references; implements natural_join (keys = shared
-/// references) and bare-variable equality joins.
+/// references) and bare-variable equality joins. Density contract
+/// (operator-contract table, docs/ARCHITECTURE.md §"Selection
+/// vectors"): the build side is a density boundary — build batches are
+/// Compact()ed before rows enter the table; the probe side is iterated
+/// through its selection view; output batches are dense by
+/// construction.
 class HashJoin : public PhysOperator {
  public:
   HashJoin(PhysOpPtr left, PhysOpPtr right,
@@ -497,6 +524,9 @@ class HashJoin : public PhysOperator {
       for (;;) {
         VODAK_ASSIGN_OR_RETURN(bool more, right_->NextBatch(&build));
         if (!more) break;
+        // Density boundary: rows leave the batch representation for the
+        // table, so the selected rows are gathered dense once here.
+        build.Compact();
         for (size_t r = 0; r < build.num_rows(); ++r) {
           build.CopyRowTo(r, &row);
           insert();
@@ -567,7 +597,10 @@ class HashJoin : public PhysOperator {
       if (!more) return false;
       batch->Reset(refs_.size());
       size_t out_rows = 0;
-      for (size_t r = 0; r < probe_batch_.num_rows(); ++r) {
+      // Probe only the live rows of the (possibly selected) probe batch;
+      // the output batch is dense by construction.
+      for (size_t pr = 0; pr < probe_batch_.active_rows(); ++pr) {
+        const size_t r = probe_batch_.RowAt(pr);
         key.clear();
         key.reserve(left_key_idx_.size());
         for (int i : left_key_idx_) {
@@ -628,7 +661,13 @@ class HashJoin : public PhysOperator {
   std::vector<int> from_right_;
 };
 
-/// Physical map<ref, expr>: appends one computed column.
+/// Physical map<ref, expr>: appends one computed column. Density
+/// contract (operator-contract table, docs/ARCHITECTURE.md §"Selection
+/// vectors"): the child's selection passes through unchanged —
+/// pass-through columns are moved wholesale, the expression is
+/// evaluated only for the selected rows and its results scattered back
+/// to the physical positions (unselected slots stay NULL and are never
+/// read).
 class MapOp : public PhysOperator {
  public:
   MapOp(const ExecContext& ctx, PhysOpPtr child, std::string ref,
@@ -665,9 +704,19 @@ class MapOp : public PhysOperator {
     VODAK_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&child_batch_));
     if (!more) return false;
     const size_t n = child_batch_.num_rows();
-    BatchEnv env{&child_->refs(), &child_batch_.columns(), n};
+    const size_t active = child_batch_.active_rows();
+    BatchEnv env = EnvOfBatch(child_->refs(), child_batch_);
+    // One computed value per *live* row; under a selection the results
+    // are scattered back to their physical positions below.
     VODAK_ASSIGN_OR_RETURN(ValueColumn computed,
                            evaluator_.EvalBatch(expr_, env));
+    if (child_batch_.has_selection()) {
+      ValueColumn scattered(n);  // unselected slots stay NULL, never read
+      for (size_t i = 0; i < active; ++i) {
+        scattered[child_batch_.RowAt(i)] = std::move(computed[i]);
+      }
+      computed = std::move(scattered);
+    }
     batch->Reset(refs_.size());
     for (size_t c = 0; c < refs_.size(); ++c) {
       if (static_cast<int>(c) == out_index_) {
@@ -679,7 +728,13 @@ class MapOp : public PhysOperator {
       }
     }
     batch->set_num_rows(n);
-    rows_produced_ += n;
+    if (child_batch_.has_selection()) {
+      // The child's live rows are consumed above; transplant its
+      // selection rather than copying it (the child Reset()s on its
+      // next NextBatch anyway).
+      batch->SetSelection(child_batch_.TakeSelection());
+    }
+    rows_produced_ += active;
     return true;
   }
   void Close() override { child_->Close(); }
@@ -702,7 +757,10 @@ class MapOp : public PhysOperator {
 };
 
 /// Physical flat<ref, expr>: one output row per element of the
-/// set-valued expression.
+/// set-valued expression. Density contract (operator-contract table,
+/// docs/ARCHITECTURE.md §"Selection vectors"): only the child's
+/// selected rows fan out; the output batch is dense by construction
+/// (the fan-out builds fresh columns anyway).
 class FlatOp : public PhysOperator {
  public:
   FlatOp(const ExecContext& ctx, PhysOpPtr child, std::string ref,
@@ -755,20 +813,22 @@ class FlatOp : public PhysOperator {
     for (;;) {
       VODAK_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&child_batch_));
       if (!more) return false;
-      const size_t n = child_batch_.num_rows();
-      BatchEnv env{&child_->refs(), &child_batch_.columns(), n};
+      const size_t active = child_batch_.active_rows();
+      BatchEnv env = EnvOfBatch(child_->refs(), child_batch_);
+      // One set per live row (sets[i] belongs to physical row RowAt(i)).
       VODAK_ASSIGN_OR_RETURN(ValueColumn sets,
                              evaluator_.EvalBatch(expr_, env));
       batch->Reset(refs_.size());
       size_t out_rows = 0;
-      for (size_t r = 0; r < n; ++r) {
-        if (sets[r].is_null()) continue;
-        if (!sets[r].is_set()) {
+      for (size_t i = 0; i < active; ++i) {
+        const size_t r = child_batch_.RowAt(i);
+        if (sets[i].is_null()) continue;
+        if (!sets[i].is_set()) {
           return Status::ExecError(
               "flat expression evaluated to non-set " +
-              sets[r].ToString());
+              sets[i].ToString());
         }
-        for (const Value& elem : sets[r].AsSet()) {
+        for (const Value& elem : sets[i].AsSet()) {
           for (size_t c = 0; c < refs_.size(); ++c) {
             if (static_cast<int>(c) == out_index_) {
               batch->column(c).push_back(elem);
@@ -811,7 +871,10 @@ class FlatOp : public PhysOperator {
   RowBatch child_batch_;
 };
 
-/// Physical project with set-semantics duplicate elimination.
+/// Physical project with set-semantics duplicate elimination. Density
+/// contract (operator-contract table, docs/ARCHITECTURE.md §"Selection
+/// vectors"): only the child's selected rows are projected into the
+/// dedup set; the output batch is dense by construction.
 class ProjectDedup : public PhysOperator {
  public:
   ProjectDedup(PhysOpPtr child, std::vector<std::string> refs)
@@ -847,7 +910,8 @@ class ProjectDedup : public PhysOperator {
       if (!more) return false;
       batch->Reset(refs_.size());
       size_t out_rows = 0;
-      for (size_t r = 0; r < child_batch_.num_rows(); ++r) {
+      for (size_t i = 0; i < child_batch_.active_rows(); ++i) {
+        const size_t r = child_batch_.RowAt(i);
         projected.resize(refs_.size());
         for (size_t c = 0; c < refs_.size(); ++c) {
           projected[c] = child_batch_.column(child_index_[c])[r];
@@ -1213,6 +1277,9 @@ Result<Value> ExecuteToSet(PhysOperator* root, ExecMode mode) {
     for (;;) {
       VODAK_ASSIGN_OR_RETURN(bool more, root->NextBatch(&batch));
       if (!more) break;
+      // Final set emit is a density boundary: every column crosses into
+      // the tuple representation, so the selected rows compact once.
+      batch.Compact();
       for (size_t r = 0; r < batch.num_rows(); ++r) {
         ValueTuple fields;
         fields.reserve(refs.size());
@@ -1248,9 +1315,11 @@ Result<Value> ExecuteColumn(PhysOperator* root, const std::string& ref,
     for (;;) {
       VODAK_ASSIGN_OR_RETURN(bool more, root->NextBatch(&batch));
       if (!more) break;
+      // Single-column extraction reads through the selection view — no
+      // reason to compact every column to consume one.
       auto& col = batch.column(index);
-      for (size_t r = 0; r < batch.num_rows(); ++r) {
-        values.push_back(std::move(col[r]));
+      for (size_t i = 0; i < batch.active_rows(); ++i) {
+        values.push_back(std::move(col[batch.RowAt(i)]));
       }
     }
   }

@@ -3,7 +3,10 @@
 // operator-by-operator batch behavior, the batch/row drain exclusivity
 // rule and the parallel worker-clone machinery are documented in
 // docs/ARCHITECTURE.md §"The NextBatch pipeline" and §"Morsel-driven
-// parallelism".
+// parallelism". Each operator's density contract — whether it accepts
+// and emits selected or compacted batches — is the operator-contract
+// table in docs/ARCHITECTURE.md §"Selection vectors"; the per-operator
+// comments in physical.cc name their row.
 #ifndef VODAK_EXEC_PHYSICAL_H_
 #define VODAK_EXEC_PHYSICAL_H_
 
@@ -36,8 +39,11 @@ class PhysOperator {
   /// Produces the next row; returns false at end of stream.
   virtual Result<bool> Next(Row* row) = 0;
   /// Produces the next batch of rows; returns false at end of stream. A
-  /// true return means the batch holds at least one row. The default
-  /// adapter loops Next(); hot operators override it with native
+  /// true return means the batch holds at least one *live* row — the
+  /// batch may carry a selection vector (filters mark survivors instead
+  /// of moving values), so consumers iterate active_rows()/RowAt() or
+  /// Compact() at a density boundary. The default adapter loops Next()
+  /// (always dense); hot operators override it with native
   /// column-at-a-time implementations.
   virtual Result<bool> NextBatch(RowBatch* batch);
   virtual void Close() = 0;
@@ -64,6 +70,12 @@ struct ExecContext {
   const Catalog* catalog = nullptr;
   ObjectStore* store = nullptr;
   MethodRegistry* methods = nullptr;
+  /// When true, Filter::NextBatch physically compacts surviving rows
+  /// after every predicate (the pre-selection-vector behavior). Kept as
+  /// the measurable baseline for bench_batch_exec's selection-chain
+  /// section and the selection tests; production paths leave it false
+  /// and filter by marking the batch's selection vector instead.
+  bool filter_compacts = false;
 };
 
 /// Compiles a logical plan into a physical operator tree. Algorithm

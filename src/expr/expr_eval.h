@@ -19,10 +19,30 @@ using Env = std::map<std::string, Value>;
 
 /// Batch variable bindings: a non-owning view mapping reference names to
 /// value columns of a common length. names and columns are parallel.
+///
+/// An optional *selection view* (docs/ARCHITECTURE.md §"Selection
+/// vectors"): when `sel` is non-null the environment denotes only the
+/// `sel_count` physical rows sel[0..sel_count), in ascending order, and
+/// the batch entry points return one result per *selected* row.
+/// Unselected rows are semantically absent — they are never evaluated,
+/// can never error, and can never reach a method body.
 struct BatchEnv {
   const std::vector<std::string>* names = nullptr;
   const std::vector<ValueColumn>* columns = nullptr;
+  /// Physical rows held by the columns.
   size_t num_rows = 0;
+  /// Optional selection: ascending physical row indices, each <
+  /// num_rows. Null means dense (every row live).
+  const uint32_t* sel = nullptr;
+  size_t sel_count = 0;
+
+  /// Rows the environment denotes (selection count, or num_rows when
+  /// dense).
+  size_t active_rows() const { return sel != nullptr ? sel_count : num_rows; }
+  /// Physical index of the i-th denoted row.
+  size_t RowAt(size_t i) const {
+    return sel != nullptr ? static_cast<size_t>(sel[i]) : i;
+  }
 
   const ValueColumn* Find(const std::string& name) const {
     for (size_t i = 0; i < names->size(); ++i) {
@@ -52,17 +72,24 @@ class ExprEvaluator {
   /// Evaluates a condition to a boolean (error if non-boolean result).
   Result<bool> EvalPredicate(const ExprRef& e, const Env& env) const;
 
-  /// Batched evaluation: one result value per row of `env`. Semantically
-  /// identical to calling Eval row by row (AND/OR keep their per-row
-  /// short-circuit via masked evaluation of the right operand), but
-  /// amortizes environment setup and property-slot resolution across the
-  /// batch. This is the entry point the vectorized physical operators
-  /// and the batched naive evaluators share.
+  /// Batched evaluation: one result value per *active* row of `env`
+  /// (every row when dense, the selected rows under a selection view).
+  /// Semantically identical to calling Eval row by row over the denoted
+  /// rows (AND/OR keep their per-row short-circuit via masked evaluation
+  /// of the right operand), but amortizes environment setup and
+  /// property-slot resolution across the batch. This is the entry point
+  /// the vectorized physical operators and the batched naive evaluators
+  /// share. Under a selection the needed variable columns are gathered
+  /// once into a dense sub-batch, so unselected rows are physically
+  /// absent from all downstream evaluation (including method dispatch).
   Result<ValueColumn> EvalBatch(const ExprRef& e,
                                 const BatchEnv& env) const;
 
-  /// Batched EvalPredicate: keep[i] records whether row i satisfies the
-  /// condition (NIL counts as FALSE). `keep` is resized to env.num_rows.
+  /// Batched EvalPredicate: keep[i] records whether the i-th *active*
+  /// row satisfies the condition (NIL counts as FALSE). `keep` is
+  /// resized to env.active_rows(); under a selection view keep[i]
+  /// refers to physical row env.RowAt(i) — the shape
+  /// RowBatch::IntersectSelection consumes directly.
   Status EvalPredicateBatch(const ExprRef& e, const BatchEnv& env,
                             std::vector<char>* keep) const;
 

@@ -9,6 +9,8 @@
 
 #include <algorithm>
 
+#include "common/copy_stats.h"
+
 namespace vodak {
 
 namespace {
@@ -50,20 +52,44 @@ void CollectVars(const ExprRef& e, std::vector<std::string>* out) {
   }
 }
 
-/// Gathers the rows of `env` selected by `mask` into owned columns, so a
+/// Gathers a subset of the rows of `env` into owned dense columns, so a
 /// sub-expression can be evaluated only where it is actually needed.
 /// Only the columns bound to `needed` variables are copied; the rest of
-/// the environment is invisible to the sub-expression anyway.
+/// the environment is invisible to the sub-expression anyway. Copies
+/// are counted into BatchCopyStats::gather_copies.
 struct GatheredBatch {
   std::vector<std::string> names;
   std::vector<ValueColumn> columns;
   std::vector<size_t> row_index;  // position of each gathered row in env
 
+  /// Mask form (AND/OR short-circuit): the rows of a *dense* env with
+  /// mask[i] != 0.
   GatheredBatch(const BatchEnv& env, const std::vector<char>& mask,
                 const std::vector<std::string>& needed) {
     for (size_t i = 0; i < env.num_rows; ++i) {
       if (mask[i]) row_index.push_back(i);
     }
+    Gather(env, needed);
+  }
+
+  /// Selection form: the rows denoted by env's selection view, in
+  /// order. The gathered batch is how unselected rows stay physically
+  /// absent from every downstream evaluation (and from method bodies).
+  GatheredBatch(const BatchEnv& env,
+                const std::vector<std::string>& needed) {
+    row_index.reserve(env.sel_count);
+    for (size_t i = 0; i < env.sel_count; ++i) {
+      row_index.push_back(env.RowAt(i));
+    }
+    Gather(env, needed);
+  }
+
+  BatchEnv View() const {
+    return BatchEnv{&names, &columns, row_index.size()};
+  }
+
+ private:
+  void Gather(const BatchEnv& env, const std::vector<std::string>& needed) {
     for (size_t c = 0; c < env.names->size(); ++c) {
       if (std::find(needed.begin(), needed.end(), (*env.names)[c]) ==
           needed.end()) {
@@ -75,10 +101,12 @@ struct GatheredBatch {
       for (size_t i : row_index) col.push_back((*env.columns)[c][i]);
       columns.push_back(std::move(col));
     }
-  }
-
-  BatchEnv View() const {
-    return BatchEnv{&names, &columns, row_index.size()};
+    const uint64_t copied =
+        static_cast<uint64_t>(row_index.size()) * columns.size();
+    if (copied != 0) {
+      BatchCopyStats::gather_copies.fetch_add(copied,
+                                              std::memory_order_relaxed);
+    }
   }
 };
 
@@ -201,6 +229,19 @@ Result<Value> ExprEvaluator::EvalClosed(const ExprRef& e) const {
 
 Result<ValueColumn> ExprEvaluator::EvalBatch(const ExprRef& e,
                                              const BatchEnv& env) const {
+  if (env.sel != nullptr) {
+    // Selection view: gather the needed variable bindings through the
+    // selection into a dense sub-batch and evaluate that. Only the
+    // columns the expression actually references are copied, and the
+    // unselected rows are physically absent from everything below —
+    // including method dispatch, which is how the batch method ABI's
+    // "masked rows never reach a body" contract extends to selection
+    // vectors.
+    std::vector<std::string> needed;
+    CollectVars(e, &needed);
+    GatheredBatch gathered(env, needed);
+    return EvalBatch(e, gathered.View());
+  }
   const size_t n = env.num_rows;
   switch (e->kind()) {
     case ExprKind::kConst:
@@ -449,32 +490,40 @@ bool CompareHolds(BinOp op, const Value& lhs, const Value& rhs) {
 Status ExprEvaluator::EvalPredicateBatch(const ExprRef& e,
                                          const BatchEnv& env,
                                          std::vector<char>* keep) const {
+  const size_t active = env.active_rows();
   // Fused fast path for `<expr> <cmp> <const>` selections: compare the
   // evaluated column against the scalar directly instead of
   // materializing a boolean column. Ordering comparisons are total
   // (ApplyBinary never errors on them), so semantics are unchanged.
+  // Under a selection view a bare-variable operand borrows the bound
+  // *physical* column and is read through RowAt — a selection chain of
+  // variable comparisons evaluates with zero value copies.
   if (e->kind() == ExprKind::kBinary && IsOrderingOp(e->bin_op()) &&
       (e->lhs()->kind() == ExprKind::kConst ||
        e->rhs()->kind() == ExprKind::kConst)) {
     const bool const_lhs = e->lhs()->kind() == ExprKind::kConst;
     const Value& scalar =
         const_lhs ? e->lhs()->value() : e->rhs()->value();
+    const ExprRef& operand = const_lhs ? e->rhs() : e->lhs();
+    // A borrowed variable column stays physical-length (index through
+    // RowAt); an evaluated operand comes back dense over the active
+    // rows (index directly).
+    const bool physical = operand->kind() == ExprKind::kVar;
     ValueColumn storage;
     VODAK_ASSIGN_OR_RETURN(
         const ValueColumn* col,
-        ResolveOperandColumn(const_lhs ? e->rhs() : e->lhs(), env,
-                             &storage));
-    keep->resize(env.num_rows);
-    for (size_t i = 0; i < env.num_rows; ++i) {
-      (*keep)[i] = const_lhs
-                       ? CompareHolds(e->bin_op(), scalar, (*col)[i])
-                       : CompareHolds(e->bin_op(), (*col)[i], scalar);
+        ResolveOperandColumn(operand, env, &storage));
+    keep->resize(active);
+    for (size_t i = 0; i < active; ++i) {
+      const Value& v = (*col)[physical ? env.RowAt(i) : i];
+      (*keep)[i] = const_lhs ? CompareHolds(e->bin_op(), scalar, v)
+                             : CompareHolds(e->bin_op(), v, scalar);
     }
     return Status::OK();
   }
   VODAK_ASSIGN_OR_RETURN(ValueColumn vals, EvalBatch(e, env));
-  keep->assign(env.num_rows, 0);
-  for (size_t i = 0; i < env.num_rows; ++i) {
+  keep->assign(active, 0);
+  for (size_t i = 0; i < active; ++i) {
     const Value& v = vals[i];
     if (v.is_null()) continue;  // NIL predicate result counts as FALSE
     if (!v.is_bool()) {

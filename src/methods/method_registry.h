@@ -54,6 +54,12 @@ using NativeFn = std::function<Result<Value>(
 ///    never NULL and all of the same class (the registry splits
 ///    heterogeneous batches into class-homogeneous runs and strips NULL
 ///    receivers before dispatch, so masked rows can never reach a body).
+///    Rows masked out upstream — by an AND/OR short-circuit or by a
+///    RowBatch selection vector — are physically absent from the
+///    columns a body receives: the batched evaluator gathers only the
+///    live rows into the dense batch it dispatches (docs/ARCHITECTURE.md
+///    §"Selection vectors"), so a body never needs to (and cannot)
+///    check a selection itself.
 ///  - Class-object methods: `selves` is empty; `num_rows` gives the
 ///    batch size.
 ///  - `args[a][i]` is argument `a` of row `i`; arity is pre-checked.

@@ -33,9 +33,17 @@ Status Interpreter::Flush(const BoundQuery& query, const Options& options,
     std::vector<char> keep;
     VODAK_RETURN_IF_ERROR(
         evaluator_.EvalPredicateBatch(query.where, env, &keep));
-    env.num_rows = batch.CompactRows(keep);
+    // Mark the survivors in the batch's selection vector instead of
+    // compacting; the ACCESS expression below evaluates only the
+    // selected rows through the selection view. An all-rejected batch
+    // is dropped here — an empty selection has no data() to view.
+    if (batch.IntersectSelection(keep) == 0) {
+      batch.Reset(pending->names.size());
+      return Status::OK();
+    }
+    batch.ExportSelectionTo(&env);
   }
-  if (env.num_rows > 0) {
+  if (env.active_rows() > 0) {
     VODAK_ASSIGN_OR_RETURN(ValueColumn values,
                            evaluator_.EvalBatch(query.access, env));
     for (Value& v : values) out->push_back(std::move(v));

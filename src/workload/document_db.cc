@@ -30,7 +30,13 @@ constexpr uint32_t kParContent = 2;
 /// Reads property `prop` of every receiver in `selves` as one
 /// range-scoped store column read (one slot resolution, one stats bump
 /// for the whole batch). The batch ABI guarantees `selves` holds
-/// same-class, non-NULL Oid values.
+/// same-class, non-NULL Oid values, and — because the batched evaluator
+/// gathers only the live rows of a selection vector before dispatch
+/// (docs/ARCHITECTURE.md §"Selection vectors") — that every receiver
+/// here is a *selected* row: the bodies below never see, and never pay
+/// store reads or tokenization for, rows a filter already rejected.
+/// exec_selvec_test's tripwire pins this down with the registry's
+/// batch_rows counter.
 Status ReadReceiverColumn(MethodCallContext& ctx, const ValueColumn& selves,
                           const std::string& prop,
                           std::vector<Value>* out) {

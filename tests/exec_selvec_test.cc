@@ -1,0 +1,371 @@
+// Selection-vector pipeline (docs/ARCHITECTURE.md §"Selection
+// vectors"): filters mark survivors in a RowBatch selection vector
+// instead of compacting columns, downstream operators iterate the
+// selection view, and density is restored only at the explicit
+// Compact() boundaries. These tests pin the edge cases — empty and full
+// selections, selections surviving through hash-join probe and
+// project-dedup, multiset parity of the marking pipeline against the
+// row-mode oracle and the compacting baseline (serially and under
+// threads {1, 4}), the copy-counter invariant the BENCH_selvec bench
+// records, and the tripwire that batch method bodies only ever see
+// selected rows.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "algebra/translate.h"
+#include "common/copy_stats.h"
+#include "exec/parallel.h"
+#include "exec/physical.h"
+#include "exec/row_hash.h"
+#include "vql/parser.h"
+#include "workload/document_db.h"
+
+namespace vodak {
+namespace exec {
+namespace {
+
+bool RowsEqual(const Row& a, const Row& b) {
+  return !RowLess(a, b) && !RowLess(b, a);
+}
+
+class ExecSelvecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Init().ok());
+    workload::CorpusParams params;
+    params.num_documents = 8;
+    params.sections_per_document = 2;
+    params.paragraphs_per_section = 3;  // paragraph numbers 0..2
+    params.implementation_fraction = 0.3;
+    ASSERT_TRUE(db_.Populate(params).ok());
+    ctx_ = std::make_unique<algebra::AlgebraContext>(&db_.catalog());
+    exec_ctx_ = ExecContext{&db_.catalog(), &db_.store(), &db_.methods()};
+    compact_ctx_ = exec_ctx_;
+    compact_ctx_.filter_compacts = true;
+  }
+
+  ExprRef Parse(const std::string& text) {
+    auto e = vql::ParseExpr(text);
+    EXPECT_TRUE(e.ok()) << text << ": " << e.status().ToString();
+    return e.value();
+  }
+
+  /// The selection chain shape of the BENCH_selvec bench: a mapped
+  /// column followed by a stack of cheap predicates, each its own
+  /// Filter operator (the shape the semantic optimizer's method
+  /// rewriting produces).
+  algebra::LogicalRef ChainPlan() {
+    auto get = ctx_->Get("p", "Paragraph").value();
+    auto mapped = ctx_->Map("n", Parse("p.number"), get).value();
+    auto f1 = ctx_->Select(Parse("n >= 1"), mapped).value();
+    return ctx_->Select(Parse("n <= 1"), f1).value();
+  }
+
+  /// Drains a plan through Next (the row-mode oracle), sorted.
+  std::vector<Row> RowDrainSorted(const algebra::LogicalRef& plan) {
+    auto phys = BuildPhysical(plan, exec_ctx_);
+    EXPECT_TRUE(phys.ok()) << phys.status().ToString();
+    std::vector<Row> rows;
+    if (!phys.ok()) return rows;
+    EXPECT_TRUE(phys.value()->Open().ok());
+    Row row;
+    for (;;) {
+      auto more = phys.value()->Next(&row);
+      EXPECT_TRUE(more.ok()) << more.status().ToString();
+      if (!more.ok() || !more.value()) break;
+      rows.push_back(row);
+    }
+    phys.value()->Close();
+    SortRows(&rows);
+    return rows;
+  }
+
+  /// Drains a plan through NextBatch under the given context (marking
+  /// pipeline or compacting baseline), sorted.
+  std::vector<Row> BatchDrainSorted(const algebra::LogicalRef& plan,
+                                    const ExecContext& ctx) {
+    auto phys = BuildPhysical(plan, ctx);
+    EXPECT_TRUE(phys.ok()) << phys.status().ToString();
+    std::vector<Row> rows;
+    if (!phys.ok()) return rows;
+    EXPECT_TRUE(phys.value()->Open().ok());
+    RowBatch batch;
+    Row row;
+    for (;;) {
+      auto more = phys.value()->NextBatch(&batch);
+      EXPECT_TRUE(more.ok()) << more.status().ToString();
+      if (!more.ok() || !more.value()) break;
+      EXPECT_GT(batch.active_rows(), 0u)
+          << "NextBatch returned true with no live rows";
+      batch.Compact();
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        batch.CopyRowTo(r, &row);
+        rows.push_back(row);
+      }
+    }
+    phys.value()->Close();
+    SortRows(&rows);
+    return rows;
+  }
+
+  /// Row oracle vs marking batch pipeline vs compacting baseline.
+  void CheckThreeWayParity(const algebra::LogicalRef& plan,
+                           const std::string& label) {
+    std::vector<Row> oracle = RowDrainSorted(plan);
+    std::vector<Row> marked = BatchDrainSorted(plan, exec_ctx_);
+    std::vector<Row> compacted = BatchDrainSorted(plan, compact_ctx_);
+    ASSERT_EQ(oracle.size(), marked.size()) << label;
+    ASSERT_EQ(oracle.size(), compacted.size()) << label;
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      ASSERT_TRUE(RowsEqual(oracle[i], marked[i]))
+          << label << ": row " << i << " differs (marking pipeline)";
+      ASSERT_TRUE(RowsEqual(oracle[i], compacted[i]))
+          << label << ": row " << i << " differs (compacting baseline)";
+    }
+  }
+
+  workload::DocumentDb db_;
+  std::unique_ptr<algebra::AlgebraContext> ctx_;
+  ExecContext exec_ctx_;
+  ExecContext compact_ctx_;
+};
+
+TEST_F(ExecSelvecTest, RowBatchSelectionUnit) {
+  RowBatch batch;
+  batch.Reset(2);
+  for (int i = 0; i < 6; ++i) {
+    batch.column(0).push_back(Value::Int(i));
+    batch.column(1).push_back(Value::Int(10 * i));
+  }
+  batch.set_num_rows(6);
+  EXPECT_FALSE(batch.has_selection());
+  EXPECT_EQ(batch.active_rows(), 6u);
+
+  // Full survival of a dense batch stays dense (no selection alloc).
+  EXPECT_EQ(batch.IntersectSelection(std::vector<char>(6, 1)), 6u);
+  EXPECT_FALSE(batch.has_selection());
+
+  // Mark rows {1, 3, 5}; storage is untouched.
+  std::vector<char> keep = {0, 1, 0, 1, 0, 1};
+  EXPECT_EQ(batch.IntersectSelection(keep), 3u);
+  EXPECT_TRUE(batch.has_selection());
+  EXPECT_EQ(batch.num_rows(), 6u);
+  EXPECT_EQ(batch.active_rows(), 3u);
+  EXPECT_EQ(batch.RowAt(0), 1u);
+  EXPECT_EQ(batch.RowAt(2), 5u);
+  EXPECT_EQ(batch.column(0)[0].AsInt(), 0);  // row 0 not moved
+
+  // Intersect again over the *active* rows: drop the middle survivor.
+  EXPECT_EQ(batch.IntersectSelection({1, 0, 1}), 2u);
+  EXPECT_EQ(batch.RowAt(0), 1u);
+  EXPECT_EQ(batch.RowAt(1), 5u);
+
+  // Compact gathers the survivors dense and counts the value moves.
+  BatchCopyStats::Reset();
+  batch.Compact();
+  EXPECT_FALSE(batch.has_selection());
+  EXPECT_EQ(batch.num_rows(), 2u);
+  EXPECT_EQ(batch.column(0)[0].AsInt(), 1);
+  EXPECT_EQ(batch.column(1)[1].AsInt(), 50);
+  // Both surviving rows moved (1 -> 0, 5 -> 1), two columns each.
+  EXPECT_EQ(BatchCopyStats::compact_moves.load(), 4u);
+}
+
+TEST_F(ExecSelvecTest, EmptySelectionEndsTheStream) {
+  RowBatch batch;
+  batch.Reset(1);
+  batch.column(0).push_back(Value::Int(7));
+  batch.set_num_rows(1);
+  EXPECT_EQ(batch.IntersectSelection({0}), 0u);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.active_rows(), 0u);
+  batch.Compact();
+  EXPECT_EQ(batch.num_rows(), 0u);
+
+  // A filter that rejects every row keeps looping past the all-masked
+  // batches and reports end of stream — never a true return with zero
+  // live rows.
+  auto plan = ctx_->Select(Parse("p.number == 99"),
+                           ctx_->Get("p", "Paragraph").value())
+                  .value();
+  auto phys = BuildPhysical(plan, exec_ctx_);
+  ASSERT_TRUE(phys.ok());
+  ASSERT_TRUE(phys.value()->Open().ok());
+  RowBatch out;
+  auto more = phys.value()->NextBatch(&out);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(more.value());
+  phys.value()->Close();
+  auto result = ExecuteToSet(phys.value().get(), ExecMode::kBatch);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().AsSet().empty());
+}
+
+TEST_F(ExecSelvecTest, FullSelectionStaysDense) {
+  // An all-true predicate must not allocate a selection: the batch
+  // stays dense and downstream operators see it exactly as before.
+  auto plan = ctx_->Select(Parse("p.number >= 0"),
+                           ctx_->Get("p", "Paragraph").value())
+                  .value();
+  auto phys = BuildPhysical(plan, exec_ctx_);
+  ASSERT_TRUE(phys.ok());
+  ASSERT_TRUE(phys.value()->Open().ok());
+  RowBatch batch;
+  size_t total = 0;
+  for (;;) {
+    auto more = phys.value()->NextBatch(&batch);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    EXPECT_FALSE(batch.has_selection())
+        << "full-survival batches must stay dense";
+    total += batch.active_rows();
+  }
+  phys.value()->Close();
+  EXPECT_EQ(total, 8u * 2u * 3u);
+}
+
+TEST_F(ExecSelvecTest, FilterEmitsMarkedNotMovedBatches) {
+  auto plan = ctx_->Select(Parse("p.number >= 1"),
+                           ctx_->Get("p", "Paragraph").value())
+                  .value();
+  auto phys = BuildPhysical(plan, exec_ctx_);
+  ASSERT_TRUE(phys.ok());
+  ASSERT_TRUE(phys.value()->Open().ok());
+  RowBatch batch;
+  auto more = phys.value()->NextBatch(&batch);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(more.value());
+  // 2 of 3 paragraph numbers survive; the batch keeps its full column
+  // storage and marks the survivors.
+  EXPECT_TRUE(batch.has_selection());
+  EXPECT_EQ(batch.num_rows(), 8u * 2u * 3u);
+  EXPECT_EQ(batch.active_rows(), 8u * 2u * 2u);
+  for (size_t i = 0; i < batch.active_rows(); ++i) {
+    EXPECT_GE(batch.column(0)[batch.RowAt(i)].AsOid().local, 0u);
+  }
+  phys.value()->Close();
+
+  // The compacting baseline produces a dense batch with the same rows.
+  auto baseline = BuildPhysical(plan, compact_ctx_);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(baseline.value()->Open().ok());
+  RowBatch dense;
+  ASSERT_TRUE(baseline.value()->NextBatch(&dense).value());
+  EXPECT_FALSE(dense.has_selection());
+  EXPECT_EQ(dense.num_rows(), batch.active_rows());
+  baseline.value()->Close();
+}
+
+TEST_F(ExecSelvecTest, SelectionChainParity) {
+  CheckThreeWayParity(ChainPlan(), "map + two-filter chain");
+
+  // Property-predicate chain without the map (each filter gathers the
+  // receiver column through the selection).
+  auto get = ctx_->Get("p", "Paragraph").value();
+  auto f1 = ctx_->Select(Parse("p.number >= 1"), get).value();
+  auto f2 = ctx_->Select(Parse("p.number <= 1"), f1).value();
+  CheckThreeWayParity(f2, "property-predicate chain");
+
+  // Chain feeding a flatten (selection consumed by fan-out).
+  auto docs = ctx_->Get("d", "Document").value();
+  auto fd = ctx_->Select(Parse("d.title == 'Title 1'"), docs).value();
+  auto flat = ctx_->Flat("p", Parse("d->paragraphs()"), fd).value();
+  CheckThreeWayParity(flat, "filter into flatten");
+}
+
+TEST_F(ExecSelvecTest, SelectionSurvivesJoinProbeAndProjectDedup) {
+  // Both join inputs are filter chains (selected batches); the probe
+  // side is iterated through its selection, the build side compacts at
+  // the density boundary, and the project dedups only the live rows.
+  auto low = ctx_->Select(Parse("p.number == 0"),
+                          ctx_->Get("p", "Paragraph").value())
+                 .value();
+  auto impl = ctx_->Select(Parse("p->contains_string('implementation')"),
+                           ctx_->Get("p", "Paragraph").value())
+                  .value();
+  auto join = ctx_->NaturalJoin(low, impl).value();
+  CheckThreeWayParity(join, "join over filtered inputs");
+  CheckThreeWayParity(ctx_->Project({"p"}, join).value(),
+                      "project-dedup over join");
+}
+
+TEST_F(ExecSelvecTest, ParallelChainParityAtThreads1And4) {
+  const algebra::LogicalRef plan = ChainPlan();
+  std::vector<Row> oracle = RowDrainSorted(plan);
+  ASSERT_FALSE(oracle.empty());
+  for (size_t threads : {1u, 4u}) {
+    ParallelOptions options;
+    options.threads = threads;
+    auto rows = ParallelDrainRows(plan, exec_ctx_, options);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    std::vector<Row> got = std::move(rows).value();
+    SortRows(&got);
+    ASSERT_EQ(oracle.size(), got.size()) << "threads=" << threads;
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      ASSERT_TRUE(RowsEqual(oracle[i], got[i]))
+          << "threads=" << threads << ": row " << i
+          << " differs from the row-mode oracle";
+    }
+  }
+}
+
+TEST_F(ExecSelvecTest, MarkingMovesStrictlyFewerValuesThanCompacting) {
+  // The invariant BENCH_selvec records and CI enforces: over the same
+  // selection chain, the marking pipeline moves strictly fewer values
+  // than the per-filter compacting baseline.
+  const algebra::LogicalRef plan = ChainPlan();
+  auto drain_moves = [&](const ExecContext& ctx) -> uint64_t {
+    auto phys = BuildPhysical(plan, ctx);
+    EXPECT_TRUE(phys.ok());
+    BatchCopyStats::Reset();
+    auto result = ExecuteColumn(phys.value().get(), "p", ExecMode::kBatch);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return BatchCopyStats::TotalMoves();
+  };
+  const uint64_t marking = drain_moves(exec_ctx_);
+  const uint64_t compacting = drain_moves(compact_ctx_);
+  EXPECT_LT(marking, compacting);
+  // Bare-variable predicates read the selection view in place: the
+  // marking chain moves nothing at all here.
+  EXPECT_EQ(marking, 0u);
+  EXPECT_GT(compacting, 0u);
+}
+
+TEST_F(ExecSelvecTest, BatchMethodBodiesOnlySeeSelectedRows) {
+  // Tripwire: a batch-native method downstream of a selection filter
+  // must be dispatched with exactly the selected receivers — the
+  // registry's batch_rows counter counts every row handed to a
+  // native_batch body, so it must equal the filter's survivor count,
+  // not the scan's row count.
+  auto get = ctx_->Get("p", "Paragraph").value();
+  auto filtered = ctx_->Select(Parse("p.number == 0"), get).value();
+  auto mapped =
+      ctx_->Map("c", Parse("p->contains_string('implementation')"),
+                filtered)
+          .value();
+  const size_t selected = 8u * 2u;   // one number-0 paragraph per section
+  const size_t scanned = 8u * 2u * 3u;
+
+  auto phys = BuildPhysical(mapped, exec_ctx_);
+  ASSERT_TRUE(phys.ok());
+  db_.ResetCounters();
+  auto result = ExecuteToSet(phys.value().get(), ExecMode::kBatch);
+  ASSERT_TRUE(result.ok());
+  const uint64_t batch_rows = db_.methods().batch_row_count(
+      "Paragraph", "contains_string", MethodLevel::kInstance);
+  EXPECT_EQ(batch_rows, selected)
+      << "the method body saw masked-out rows";
+  EXPECT_LT(batch_rows, scanned);
+
+  // And the row-mode oracle agrees on the result.
+  auto oracle = ExecuteToSet(phys.value().get(), ExecMode::kRow);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(result.value(), oracle.value());
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace vodak
