@@ -1,0 +1,226 @@
+// Experiment X10: the shared-scan multi-query executor. K concurrent
+// queries over the same Paragraph extent run once as K independent
+// drains (the private-cursor baseline: every query materializes its
+// own extent pass and reads its own property columns) and once
+// attached to one SharedScanManager (one extent pass and one
+// property-column read serve the whole batch). The claim is measured,
+// not inferred: the store's extent_scans / property_reads counters of
+// one counted drain of each mode go into the JSON, and scripts/ci.sh
+// fails if the shared batch does not do strictly fewer extent passes
+// than the K independent queries — the ~K× → ~1× acceptance bar of
+// the shared-scan PR.
+//
+// Flags: --docs=N     corpus size in documents (default 8350 ->
+//                     ~100k paragraphs, 3 sections x 4 paragraphs)
+//        --k=N        concurrent queries per batch (default 8)
+//        --threads=N  worker lanes for the batch (default 0 = hw)
+//        --reps=N     timed repetitions per mode (default 5)
+//        --json=PATH  machine-readable record (BENCH_shared_scan.json)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algebra/translate.h"
+#include "common/logging.h"
+#include "exec/parallel.h"
+#include "exec/physical.h"
+#include "vql/parser.h"
+#include "workload/document_db.h"
+
+namespace {
+
+using namespace vodak;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t docs = 8350;
+  size_t k = 8;
+  size_t threads = 0;
+  int reps = 5;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--docs=", 7) == 0) {
+      docs = static_cast<uint32_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--k=", 4) == 0) {
+      k = static_cast<size_t>(std::atoi(argv[i] + 4));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--docs=N] [--k=N] [--threads=N] [--reps=N] "
+                   "[--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;  // the per-mode means divide by reps
+  if (k == 0) k = 1;
+
+  workload::CorpusParams params;
+  params.num_documents = docs;
+  params.sections_per_document = 3;
+  params.paragraphs_per_section = 4;
+  params.words_per_paragraph = 8;
+  params.vocabulary_size = 200;
+  const size_t num_paragraphs = static_cast<size_t>(docs) * 3 * 4;
+
+  std::printf("building corpus: %u documents, %zu paragraphs...\n", docs,
+              num_paragraphs);
+  workload::DocumentDb db;
+  VODAK_CHECK(db.Init().ok());
+  VODAK_CHECK(db.Populate(params).ok());
+
+  // The paper's serving shape: many clients, same document base, cheap
+  // stored-property predicates. Every query drives the same Paragraph
+  // extent and touches the same p.number column, so the sharing is
+  // directly readable from the store counters.
+  const std::vector<std::string> pool = {
+      "ACCESS p FROM p IN Paragraph WHERE p.number >= 1",
+      "ACCESS p FROM p IN Paragraph WHERE p.number == 0",
+      "ACCESS p FROM p IN Paragraph WHERE p.number <= 2",
+      "ACCESS p FROM p IN Paragraph WHERE p.number >= 2",
+      "ACCESS p FROM p IN Paragraph WHERE p.number == 1",
+      "ACCESS p FROM p IN Paragraph WHERE p.number == 2",
+      "ACCESS p.number FROM p IN Paragraph",
+      "ACCESS p FROM p IN Paragraph WHERE p.number > 0",
+  };
+
+  algebra::AlgebraContext ctx(&db.catalog());
+  exec::ExecContext exec_ctx{&db.catalog(), &db.store(), &db.methods()};
+  std::vector<exec::ConcurrentQuery> queries;
+  queries.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const std::string& text = pool[i % pool.size()];
+    auto parsed = vql::ParseQuery(text);
+    VODAK_CHECK(parsed.ok()) << parsed.status().ToString();
+    vql::Binder binder(&db.catalog());
+    auto bound = binder.Bind(parsed.value());
+    VODAK_CHECK(bound.ok()) << bound.status().ToString();
+    auto plan = algebra::TranslateQuery(ctx, bound.value());
+    VODAK_CHECK(plan.ok()) << plan.status().ToString();
+    exec::ConcurrentQuery query;
+    query.plan = plan.value();
+    query.result_ref = algebra::ResultRef(bound.value());
+    queries.push_back(std::move(query));
+  }
+
+  const size_t lanes = exec::ResolveThreads(threads);
+  exec::WorkerPool pool_obj(std::min(lanes, k));
+  auto run_batch = [&](bool shared) {
+    exec::ConcurrentOptions options;
+    options.threads = lanes;
+    options.shared_scan = shared;
+    options.pool = &pool_obj;
+    auto start = std::chrono::steady_clock::now();
+    auto results = exec::ExecuteConcurrentColumns(queries, exec_ctx,
+                                                  options);
+    double ms = MsSince(start);
+    VODAK_CHECK(results.ok()) << results.status().ToString();
+    return std::make_pair(ms, std::move(results).value());
+  };
+
+  struct ModePoint {
+    double ms = 0.0;
+    uint64_t extent_scans = 0;
+    uint64_t property_reads = 0;
+  };
+  auto measure = [&](bool shared) {
+    ModePoint point;
+    // Counted warm drain: the store counters are deterministic per
+    // batch drain, so one counted pass suffices.
+    db.ResetCounters();
+    run_batch(shared);
+    point.extent_scans = db.store().stats().extent_scans.load();
+    point.property_reads = db.store().stats().property_reads.load();
+    for (int r = 0; r < reps; ++r) point.ms += run_batch(shared).first;
+    point.ms /= reps;
+    return point;
+  };
+
+  // Parity first: both modes must agree query by query.
+  auto shared_values = run_batch(true).second;
+  auto private_values = run_batch(false).second;
+  for (size_t i = 0; i < k; ++i) {
+    VODAK_CHECK(shared_values[i] == private_values[i])
+        << "query " << i << " differs between shared and private scans";
+  }
+
+  ModePoint shared = measure(true);
+  ModePoint priv = measure(false);
+
+  std::printf(
+      "workload: K=%zu concurrent p.number queries over %zu paragraphs, "
+      "%zu lanes\n",
+      k, num_paragraphs, lanes);
+  std::printf(
+      "private scans (baseline):  %8.2f ms  %3llu extent passes  "
+      "%10llu property reads\n",
+      priv.ms, static_cast<unsigned long long>(priv.extent_scans),
+      static_cast<unsigned long long>(priv.property_reads));
+  std::printf(
+      "shared scans:              %8.2f ms  %3llu extent passes  "
+      "%10llu property reads\n",
+      shared.ms, static_cast<unsigned long long>(shared.extent_scans),
+      static_cast<unsigned long long>(shared.property_reads));
+  std::printf(
+      "shared_vs_private_speedup: %.2fx, scan passes %llux -> %llux, "
+      "property reads %.1fx -> 1x\n",
+      priv.ms / shared.ms,
+      static_cast<unsigned long long>(priv.extent_scans),
+      static_cast<unsigned long long>(shared.extent_scans),
+      static_cast<double>(priv.property_reads) /
+          static_cast<double>(shared.property_reads == 0
+                                  ? 1
+                                  : shared.property_reads));
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"shared_scan\",\n");
+    std::fprintf(f,
+                 "  \"workload\": \"K concurrent p.number queries over "
+                 "one Paragraph extent\",\n");
+    std::fprintf(f, "  \"docs\": %u,\n", docs);
+    std::fprintf(f, "  \"paragraphs\": %zu,\n", num_paragraphs);
+    std::fprintf(f, "  \"k\": %zu,\n", k);
+    std::fprintf(f, "  \"threads\": %zu,\n", lanes);
+    std::fprintf(f, "  \"reps\": %d,\n", reps);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"shared_ms\": %.3f,\n", shared.ms);
+    std::fprintf(f, "  \"private_ms\": %.3f,\n", priv.ms);
+    std::fprintf(f, "  \"shared_vs_private_speedup\": %.3f,\n",
+                 priv.ms / shared.ms);
+    std::fprintf(f, "  \"extent_scans_shared\": %llu,\n",
+                 static_cast<unsigned long long>(shared.extent_scans));
+    std::fprintf(f, "  \"extent_scans_private\": %llu,\n",
+                 static_cast<unsigned long long>(priv.extent_scans));
+    std::fprintf(f, "  \"property_reads_shared\": %llu,\n",
+                 static_cast<unsigned long long>(shared.property_reads));
+    std::fprintf(f, "  \"property_reads_private\": %llu\n",
+                 static_cast<unsigned long long>(priv.property_reads));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -31,9 +31,10 @@ if [[ -n "$SANITIZE" ]]; then
   cmake -B "$BUILD_DIR" -S . -DVODAK_SANITIZE="$SANITIZE" \
         ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"}
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
-        --target exec_batch_test exec_parallel_test exec_selvec_test
+        --target exec_batch_test exec_parallel_test exec_selvec_test \
+                 exec_shared_scan_test
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-        -R 'exec_batch_test|exec_parallel_test|exec_selvec_test'
+        -R 'exec_batch_test|exec_parallel_test|exec_selvec_test|exec_shared_scan_test'
   echo "== ci.sh ($SANITIZE): all green =="
   exit 0
 fi
@@ -70,6 +71,16 @@ if ! grep -q "operator-contract" docs/ARCHITECTURE.md; then
 fi
 if ! grep -q "BENCH_selvec.json" docs/BENCHMARKS.md; then
   echo "ci.sh: docs/BENCHMARKS.md does not document BENCH_selvec.json" >&2
+  exit 1
+fi
+# The shared-scan chapter (attach/detach protocol, exactly-once batch
+# contract) and its bench record documentation.
+if ! grep -q "^## Shared scans" docs/ARCHITECTURE.md; then
+  echo "ci.sh: docs/ARCHITECTURE.md lost the 'Shared scans' chapter" >&2
+  exit 1
+fi
+if ! grep -q "BENCH_shared_scan.json" docs/BENCHMARKS.md; then
+  echo "ci.sh: docs/BENCHMARKS.md does not document BENCH_shared_scan.json" >&2
   exit 1
 fi
 
@@ -134,11 +145,40 @@ fi
 echo "selection-chain copy gate: $SEL_MOVES moves (baseline $BASE_MOVES," \
      "rows $SEL_ROWS) -- ok"
 
+# Shared-scan gate: K concurrent queries attached to one shared scan
+# must do strictly fewer extent passes than the same K queries with
+# private cursors (~1x vs ~Kx), and at least halve the property reads
+# (the column cache serves the batch from one snapshot).
+"$BUILD_DIR"/bench_shared_scan --docs=200 --reps=2 \
+                               --json=BENCH_shared_scan.json
+shared_field() { sed -n "s/^ *\"$1\": \([0-9][0-9]*\).*/\1/p" BENCH_shared_scan.json; }
+EXT_SHARED="$(shared_field extent_scans_shared)"
+EXT_PRIVATE="$(shared_field extent_scans_private)"
+PROP_SHARED="$(shared_field property_reads_shared)"
+PROP_PRIVATE="$(shared_field property_reads_private)"
+if [[ -z "$EXT_SHARED" || -z "$EXT_PRIVATE" || -z "$PROP_SHARED" || -z "$PROP_PRIVATE" ]]; then
+  echo "ci.sh: BENCH_shared_scan.json is missing counter fields" >&2
+  exit 1
+fi
+if (( EXT_SHARED >= EXT_PRIVATE )); then
+  echo "ci.sh: shared scan paid $EXT_SHARED extent passes," \
+       "not fewer than the $EXT_PRIVATE of K independent queries" >&2
+  exit 1
+fi
+if (( PROP_SHARED * 2 > PROP_PRIVATE )); then
+  echo "ci.sh: shared scan read $PROP_SHARED property values," \
+       "not at most half the private baseline's $PROP_PRIVATE" >&2
+  exit 1
+fi
+echo "shared-scan gate: $EXT_SHARED extent pass(es) vs $EXT_PRIVATE," \
+     "$PROP_SHARED property reads vs $PROP_PRIVATE -- ok"
+
 # Google-benchmark binaries: run only the smallest Arg() variant of each
 # benchmark (plus arg-less ones) with a minimal measuring time.
 SMOKE_FILTER='(/(1|2|10|20|50)$|^[^/]+$)'
 for bench in "${BENCHES[@]}"; do
   [[ "$(basename "$bench")" == "bench_batch_exec" ]] && continue
+  [[ "$(basename "$bench")" == "bench_shared_scan" ]] && continue
   echo "-- $bench"
   "$bench" --benchmark_filter="$SMOKE_FILTER" --benchmark_min_time=0.01
 done

@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "algebra/translate.h"
@@ -42,8 +43,9 @@ Result<vql::BoundQuery> Database::Parse(const std::string& vql) const {
   return binder.Bind(query);
 }
 
-Result<QueryResult> Database::Run(const std::string& vql,
-                                  const ExecOptions& options) {
+Result<QueryResult> Database::PlanQuery(const std::string& vql,
+                                        const ExecOptions& options,
+                                        vql::BoundQuery* bound_out) {
   VODAK_ASSIGN_OR_RETURN(vql::BoundQuery bound, Parse(vql));
 
   // A throwaway algebra context suffices when no optimizer was
@@ -77,6 +79,16 @@ Result<QueryResult> Database::Run(const std::string& vql,
     out.rule_applications = opt_result.rule_applications;
     out.trace = std::move(opt_result.trace);
   }
+
+  if (bound_out != nullptr) *bound_out = std::move(bound);
+  return out;
+}
+
+Result<QueryResult> Database::Run(const std::string& vql,
+                                  const ExecOptions& options) {
+  vql::BoundQuery bound;
+  VODAK_ASSIGN_OR_RETURN(QueryResult out,
+                         PlanQuery(vql, options, &bound));
 
   if (!options.execute) {
     out.result = Value::Set({});
@@ -124,8 +136,72 @@ Result<QueryResult> Database::Run(const std::string& vql,
   return out;
 }
 
+Result<std::vector<QueryResult>> Database::RunConcurrent(
+    const std::vector<std::string>& queries, const ExecOptions& options) {
+  std::vector<QueryResult> out;
+  if (queries.empty()) return out;  // nothing to plan, no pool to spawn
+  // Planning stays serial (the optimizer module is not built for
+  // concurrent Optimize calls); the drains below overlap.
+  out.reserve(queries.size());
+  std::vector<exec::ConcurrentQuery> plans;
+  plans.reserve(queries.size());
+  for (const std::string& vql : queries) {
+    vql::BoundQuery bound;
+    VODAK_ASSIGN_OR_RETURN(QueryResult planned,
+                           PlanQuery(vql, options, &bound));
+    exec::ConcurrentQuery query;
+    query.plan = planned.chosen_plan;
+    query.result_ref = algebra::ResultRef(bound);
+    plans.push_back(std::move(query));
+    out.push_back(std::move(planned));
+  }
+  if (!options.execute) {
+    for (QueryResult& result : out) result.result = Value::Set({});
+    return out;
+  }
+
+  exec::ExecContext exec_ctx{catalog_, store_, methods_};
+  // The EXPLAIN skeleton is the serial private-leaf tree, like the
+  // morsel-parallel path's; the note below records how the leaves
+  // actually executed. The workers rebuild their own (shared-leaf)
+  // trees — these skeletons are plan construction only, no Open, and
+  // operator trees are a handful of nodes.
+  for (size_t i = 0; i < out.size(); ++i) {
+    VODAK_ASSIGN_OR_RETURN(exec::PhysOpPtr root,
+                           exec::BuildPhysical(plans[i].plan, exec_ctx));
+    out[i].physical_explain = exec::ExplainPhysical(*root);
+  }
+  exec::ConcurrentOptions copts;
+  copts.threads = exec::ResolveThreads(options.threads);
+  copts.morsel_size = options.morsel_size;
+  copts.shared_scan = options.shared_scan;
+  copts.batch = options.batch;
+  copts.pool = EnsurePoolExact(std::min(copts.threads, queries.size()));
+  auto start = std::chrono::steady_clock::now();
+  VODAK_ASSIGN_OR_RETURN(
+      std::vector<Value> results,
+      exec::ExecuteConcurrentColumns(plans, exec_ctx, copts));
+  const double batch_ms = MsSince(start);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i].result = std::move(results[i]);
+    out[i].execute_ms = batch_ms;  // the drains overlap: batch time
+    out[i].physical_explain +=
+        "[concurrent batch of " + std::to_string(queries.size()) +
+        (options.shared_scan ? ": scan leaves attached to shared scans]\n"
+                             : ": private-scan baseline]\n");
+  }
+  return out;
+}
+
 exec::WorkerPool* Database::EnsurePool(size_t threads) {
   if (pool_ == nullptr || pool_->parallelism() < threads) {
+    pool_ = std::make_unique<exec::WorkerPool>(threads);
+  }
+  return pool_.get();
+}
+
+exec::WorkerPool* Database::EnsurePoolExact(size_t threads) {
+  if (pool_ == nullptr || pool_->parallelism() != threads) {
     pool_ = std::make_unique<exec::WorkerPool>(threads);
   }
   return pool_.get();
@@ -137,6 +213,22 @@ Result<Value> Database::RunNaive(
   VODAK_ASSIGN_OR_RETURN(vql::BoundQuery bound, Parse(vql));
   vql::Interpreter interpreter(catalog_, store_, methods_);
   return interpreter.Run(bound, options);
+}
+
+Result<std::vector<Value>> Database::RunNaiveConcurrent(
+    const std::vector<std::string>& queries,
+    vql::Interpreter::Options options) const {
+  exec::SharedScanManager manager(store_, options.morsel_size);
+  options.shared_scans = &manager;
+  vql::Interpreter interpreter(catalog_, store_, methods_);
+  std::vector<Value> out;
+  out.reserve(queries.size());
+  for (const std::string& vql : queries) {
+    VODAK_ASSIGN_OR_RETURN(vql::BoundQuery bound, Parse(vql));
+    VODAK_ASSIGN_OR_RETURN(Value result, interpreter.Run(bound, options));
+    out.push_back(std::move(result));
+  }
+  return out;
 }
 
 Result<std::string> Database::Explain(const std::string& vql,

@@ -29,10 +29,17 @@ struct ExecOptions {
   /// serial pipeline (the degenerate case), 0 resolves to the hardware
   /// concurrency, >1 drains the plan through per-worker operator chains
   /// over shared extent morsels (requires batch=true; ignored in row
-  /// mode, which exists as the independent oracle).
+  /// mode, which exists as the independent oracle). For RunConcurrent
+  /// the same knob sizes the lanes the *query batch* drains on.
   size_t threads = 1;
-  /// Upper bound on rows per morsel in the parallel path.
+  /// Upper bound on rows per morsel in the parallel path (and the
+  /// shared scans' fan-out ring in RunConcurrent).
   size_t morsel_size = exec::kDefaultMorselSize;
+  /// RunConcurrent only: attach the batch's scan leaves to shared
+  /// scans (one extent pass and one property-column read per source
+  /// for all K queries). False runs the same queries with private
+  /// cursors — the measurable K-independent-queries baseline.
+  bool shared_scan = true;
 };
 
 /// Everything one query execution produced.
@@ -91,12 +98,37 @@ class Database {
   Result<QueryResult> Run(const std::string& vql,
                           const ExecOptions& options = {});
 
+  /// The concurrent-session entry point: submits a batch of queries
+  /// that execute together over shared scans. Each query is planned
+  /// exactly like Run would plan it (parse / bind / optimize,
+  /// serially), then all plans drain concurrently on the session pool
+  /// — one lane per query up to `options.threads` — with their scan
+  /// leaves attached to one SharedScanManager, so K queries over the
+  /// same extent pay ~1 scan pass and ~1 property-column read per
+  /// source instead of K (options.shared_scan = false keeps the
+  /// private-scan baseline). results[i] belongs to queries[i];
+  /// per-query execute_ms reports the whole batch's drain time, since
+  /// the drains overlap.
+  Result<std::vector<QueryResult>> RunConcurrent(
+      const std::vector<std::string>& queries,
+      const ExecOptions& options = {});
+
   /// Ground-truth evaluation through the naive interpreter (S9); used by
   /// the correctness property tests and as the paper's "straightforward
   /// evaluation" baseline. `options` selects the interpreter's row-mode
   /// (fully independent oracle) or its morsel-parallel outer loop.
   Result<Value> RunNaive(const std::string& vql,
                          const vql::Interpreter::Options& options = {}) const;
+
+  /// Naive counterpart of RunConcurrent: evaluates the query batch
+  /// through the interpreter with a shared-scan manager installed, so
+  /// the batch pays one extent pass per class (the queries themselves
+  /// evaluate one after another — the naive path stays the simple
+  /// oracle). results[i] belongs to queries[i]; `options` keeps its
+  /// usual meaning per query (row_mode composes with the sharing).
+  Result<std::vector<Value>> RunNaiveConcurrent(
+      const std::vector<std::string>& queries,
+      vql::Interpreter::Options options = {}) const;
 
   /// Human-readable optimization report: original plan, chosen plan,
   /// costs, and with `options.trace` the full rewrite storyboard.
@@ -114,6 +146,18 @@ class Database {
 
  private:
   Result<vql::BoundQuery> Parse(const std::string& vql) const;
+  /// The planning half of Run (parse / bind / optimize / EXPLAIN),
+  /// shared with RunConcurrent: fills everything in QueryResult except
+  /// the executed result and its timing.
+  Result<QueryResult> PlanQuery(const std::string& vql,
+                                const ExecOptions& options,
+                                vql::BoundQuery* bound_out);
+  /// EnsurePool, but exact: ExecuteConcurrentColumns refuses a
+  /// mis-sized pool (the threads knob, not the pool, sizes a batch),
+  /// so the session pool is rebuilt at exactly `threads` lanes when it
+  /// differs. Repeated same-shape batches then reuse it; alternating
+  /// Run/RunConcurrent shapes pay one rebuild at the boundary.
+  exec::WorkerPool* EnsurePoolExact(size_t threads);
 
   const Catalog* catalog_;
   ObjectStore* store_;

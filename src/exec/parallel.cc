@@ -1,5 +1,6 @@
 #include "exec/parallel.h"
 
+#include <algorithm>
 #include <thread>
 #include <unordered_set>
 #include <utility>
@@ -135,6 +136,52 @@ Result<std::vector<Row>> ParallelDrainRows(const algebra::LogicalRef& plan,
   if (ParallelPlanNeedsFinalDedup(*state)) DedupRows(&merged);
   if (parallelized != nullptr) *parallelized = true;
   return merged;
+}
+
+Result<std::vector<Value>> ExecuteConcurrentColumns(
+    const std::vector<ConcurrentQuery>& queries, const ExecContext& ctx,
+    const ConcurrentOptions& options) {
+  std::vector<Value> results(queries.size());
+  if (queries.empty()) return results;
+
+  // One manager per batch: its shared scans and property-column cache
+  // live exactly as long as the queries that attach to them.
+  SharedScanManager manager(ctx.store, options.morsel_size);
+  ExecContext query_ctx = ctx;
+  if (options.shared_scan) {
+    query_ctx.shared_scans = &manager;
+    query_ctx.property_cache = manager.property_cache();
+  }
+
+  std::vector<Status> statuses(queries.size(), Status::OK());
+  auto task = [&](size_t q) {
+    statuses[q] = [&]() -> Status {
+      VODAK_ASSIGN_OR_RETURN(PhysOpPtr root,
+                             BuildPhysical(queries[q].plan, query_ctx));
+      VODAK_ASSIGN_OR_RETURN(
+          results[q],
+          ExecuteColumn(root.get(), queries[q].result_ref,
+                        options.batch ? ExecMode::kBatch : ExecMode::kRow));
+      return Status::OK();
+    }();
+  };
+  // options.threads sizes the concurrent drains even when a reusable
+  // pool is supplied: a session pool warmed wider by an earlier query
+  // must not silently widen this batch beyond its knob (nor an
+  // undersized pool silently narrow it), so a mis-sized pool falls
+  // back to an ephemeral lanes-sized one.
+  const size_t lanes =
+      std::min(ResolveThreads(options.threads), queries.size());
+  if (options.pool != nullptr && options.pool->parallelism() == lanes) {
+    options.pool->ParallelRun(queries.size(), task);
+  } else {
+    WorkerPool ephemeral(lanes);
+    ephemeral.ParallelRun(queries.size(), task);
+  }
+  for (const Status& status : statuses) {
+    VODAK_RETURN_IF_ERROR(status);
+  }
+  return results;
 }
 
 Result<Value> ParallelExecuteToSet(const algebra::LogicalRef& plan,

@@ -10,6 +10,7 @@
 
 #include "exec/morsel_source.h"
 #include "exec/physical.h"
+#include "exec/shared_scan.h"
 #include "exec/worker_pool.h"
 
 namespace vodak {
@@ -59,6 +60,49 @@ Result<Value> ParallelExecuteColumn(const algebra::LogicalRef& plan,
                                     const std::string& ref,
                                     const ParallelOptions& options,
                                     ParallelPlanStatePtr prepared = nullptr);
+
+/// One query of a concurrent batch: its plan plus the reference whose
+/// column is the query result (algebra::ResultRef of the bound query).
+struct ConcurrentQuery {
+  algebra::LogicalRef plan;
+  std::string result_ref;
+};
+
+/// Knobs for the shared-scan multi-query driver.
+struct ConcurrentOptions {
+  /// Worker lanes the query batch drains on; each query is one task
+  /// (queries beyond the lane count queue and run as lanes free up).
+  /// 0 resolves to the hardware concurrency.
+  size_t threads = 0;
+  /// Morsel size of the shared scans' fixed fan-out ring.
+  size_t morsel_size = kDefaultMorselSize;
+  /// True attaches every query's scan leaves to one SharedScanManager
+  /// (one scan pass and one property-column read per source for the
+  /// whole batch); false runs the same queries with private cursors —
+  /// the measurable K-independent-queries baseline.
+  bool shared_scan = true;
+  /// Drain each query batch-at-a-time (the vectorized pipeline);
+  /// false drains row-at-a-time — the same oracle knob as
+  /// engine::ExecOptions::batch, honored per query.
+  bool batch = true;
+  /// Reusable pool; when null — or when the supplied pool's
+  /// parallelism differs from the resolved lane count, so the knob
+  /// rather than the pool sizes the batch — an ephemeral pool is spun
+  /// up.
+  WorkerPool* pool = nullptr;
+};
+
+/// The shared-scan multi-query driver: runs K query plans concurrently
+/// — one worker task per query, each draining its own serial NextBatch
+/// chain — with all scan leaves attached to one shared scan per source
+/// (ConcurrentOptions::shared_scan). results[i] is queries[i]'s result
+/// value set, exactly what ExecuteColumn(plan, result_ref) returns for
+/// that query alone. Queries attach whenever their leaf Opens, so a
+/// task that starts late joins the in-flight scan and circles back for
+/// the morsels it missed.
+Result<std::vector<Value>> ExecuteConcurrentColumns(
+    const std::vector<ConcurrentQuery>& queries, const ExecContext& ctx,
+    const ConcurrentOptions& options);
 
 }  // namespace exec
 }  // namespace vodak

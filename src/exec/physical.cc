@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -9,6 +10,7 @@
 #include "common/string_util.h"
 #include "exec/morsel_source.h"
 #include "exec/row_hash.h"
+#include "exec/shared_scan.h"
 
 namespace vodak {
 namespace exec {
@@ -127,59 +129,47 @@ bool ParallelPlanNeedsFinalDedup(const ParallelPlanState& state) {
 
 namespace {
 
-/// Sequential scan over a class extension (physical `get`).
-class ExtentScan : public PhysOperator {
+/// Private extent cursor (the classic physical `get`): materializes the
+/// class extension in Open — one scan pass per query per Open — and
+/// slices it into column fills.
+class ExtentBatchSource : public BatchSource {
  public:
-  ExtentScan(const ExecContext& ctx, std::string ref,
-             std::string class_name, uint32_t class_id)
-      : PhysOperator({std::move(ref)}),
-        ctx_(ctx),
+  ExtentBatchSource(const ExecContext& ctx, std::string class_name,
+                    uint32_t class_id)
+      : store_(ctx.store),
         class_name_(std::move(class_name)),
         class_id_(class_id) {}
 
   Status Open() override {
-    VODAK_ASSIGN_OR_RETURN(extent_, ctx_.store->Extent(class_id_));
+    VODAK_ASSIGN_OR_RETURN(extent_, store_->Extent(class_id_));
     pos_ = 0;
     return Status::OK();
   }
-  Result<bool> Next(Row* row) override {
-    if (pos_ >= extent_.size()) return false;
-    row->assign(1, Value::OfOid(extent_[pos_++]));
-    ++rows_produced_;
-    return true;
-  }
   Result<bool> NextBatch(RowBatch* batch) override {
-    const size_t n = FillScanBatch(
-        batch, extent_.size(), &pos_,
-        [this](size_t i) { return Value::OfOid(extent_[i]); });
-    rows_produced_ += n;
-    return n > 0;
+    return FillScanBatch(batch, extent_.size(), &pos_, [this](size_t i) {
+             return Value::OfOid(extent_[i]);
+           }) > 0;
   }
   void Close() override { extent_.clear(); }
   std::string name() const override { return "ExtentScan"; }
-  std::string params() const override {
-    return refs_[0] + " IN " + class_name_;
-  }
-  const std::vector<const PhysOperator*> children() const override {
-    return {};
-  }
+  std::string describe() const override { return class_name_; }
 
  private:
-  ExecContext ctx_;
+  ObjectStore* store_;
   std::string class_name_;
   uint32_t class_id_;
   std::vector<Oid> extent_;
   size_t pos_ = 0;
 };
 
-/// Materializes a closed set-valued expression — the physical form of
-/// §3.2's "methods as algebraic operators" (e.g. an external method scan
-/// like Paragraph→retrieve_by_string(s)).
-class ExprSourceScan : public PhysOperator {
+/// Private cursor over a closed set-valued expression — the physical
+/// form of §3.2's "methods as algebraic operators" (e.g. an external
+/// method scan like Paragraph→retrieve_by_string(s)).
+class ExprBatchSource : public BatchSource {
  public:
-  ExprSourceScan(const ExecContext& ctx, std::string ref, ExprRef expr)
-      : PhysOperator({std::move(ref)}),
-        evaluator_(ctx.catalog, ctx.store, ctx.methods),
+  ExprBatchSource(const ExecContext& ctx, ExprRef expr)
+      : evaluator_(ctx.catalog, ctx.store, ctx.methods,
+                   ctx.property_cache),
         expr_(std::move(expr)) {}
 
   Status Open() override {
@@ -198,27 +188,13 @@ class ExprSourceScan : public PhysOperator {
     pos_ = 0;
     return Status::OK();
   }
-  Result<bool> Next(Row* row) override {
-    if (pos_ >= elements_.size()) return false;
-    row->assign(1, elements_[pos_++]);
-    ++rows_produced_;
-    return true;
-  }
   Result<bool> NextBatch(RowBatch* batch) override {
-    const size_t n =
-        FillScanBatch(batch, elements_.size(), &pos_,
-                      [this](size_t i) { return elements_[i]; });
-    rows_produced_ += n;
-    return n > 0;
+    return FillScanBatch(batch, elements_.size(), &pos_,
+                         [this](size_t i) { return elements_[i]; }) > 0;
   }
   void Close() override { elements_.clear(); }
   std::string name() const override { return "MethodScan"; }
-  std::string params() const override {
-    return refs_[0] + " IN " + expr_->ToString();
-  }
-  const std::vector<const PhysOperator*> children() const override {
-    return {};
-  }
+  std::string describe() const override { return expr_->ToString(); }
 
  private:
   ExprEvaluator evaluator_;
@@ -227,29 +203,21 @@ class ExprSourceScan : public PhysOperator {
   size_t pos_ = 0;
 };
 
-/// Parallel leaf: one worker's view of the shared driving scan. The
-/// source (extent Oids or method-scan elements) was materialized once by
-/// PrepareParallelPlan; workers claim disjoint [begin, end) morsels from
-/// the shared atomic cursor and emit them batch by batch. A batch never
-/// spans a morsel boundary, so per-worker output stays cache-local.
-class MorselScan : public PhysOperator {
+/// Intra-query parallel source: one worker's view of the shared driving
+/// scan. The source (extent Oids or method-scan elements) was
+/// materialized once by PrepareParallelPlan; workers claim disjoint
+/// [begin, end) morsels from the shared atomic cursor and emit them
+/// batch by batch. A batch never spans a morsel boundary, so per-worker
+/// output stays cache-local.
+class MorselBatchSource : public BatchSource {
  public:
-  MorselScan(std::string ref, std::string source_desc,
-             ParallelPlanState* state)
-      : PhysOperator({std::move(ref)}),
-        source_desc_(std::move(source_desc)),
-        state_(state) {}
+  MorselBatchSource(std::string source_desc, ParallelPlanState* state)
+      : source_desc_(std::move(source_desc)), state_(state) {}
 
   Status Open() override {
     pos_ = 0;
     end_ = 0;
     return Status::OK();
-  }
-  Result<bool> Next(Row* row) override {
-    if (pos_ >= end_ && !ClaimMorsel()) return false;
-    row->assign(1, ValueAt(pos_++));
-    ++rows_produced_;
-    return true;
   }
   Result<bool> NextBatch(RowBatch* batch) override {
     batch->Reset(1);
@@ -259,17 +227,11 @@ class MorselScan : public PhysOperator {
     col.reserve(n);
     for (size_t i = 0; i < n; ++i) col.push_back(ValueAt(pos_++));
     batch->set_num_rows(n);
-    rows_produced_ += n;
     return true;
   }
   void Close() override {}
   std::string name() const override { return "MorselScan"; }
-  std::string params() const override {
-    return refs_[0] + " IN " + source_desc_;
-  }
-  const std::vector<const PhysOperator*> children() const override {
-    return {};
-  }
+  std::string describe() const override { return source_desc_; }
 
  private:
   bool ClaimMorsel() {
@@ -290,6 +252,126 @@ class MorselScan : public PhysOperator {
   size_t end_ = 0;
 };
 
+/// Cross-query shared source: attaches to the SharedScanManager's scan
+/// for this leaf's source on every Open (so a re-opened leaf — or a
+/// query that arrives while the batch is mid-scan — is a fresh
+/// late-attaching consumer that circles back for what it missed) and
+/// emits the consumer's morsels batch by batch. The materialization
+/// cost is paid by the whole query batch exactly once, inside the
+/// manager.
+class SharedBatchSource : public BatchSource {
+ public:
+  /// Extent form.
+  SharedBatchSource(const ExecContext& ctx, std::string class_name,
+                    uint32_t class_id)
+      : manager_(ctx.shared_scans),
+        class_name_(std::move(class_name)),
+        class_id_(class_id) {}
+  /// Method-scan form: `expr` is materialized (once per manager) via a
+  /// private evaluator, exactly like ExprBatchSource::Open would.
+  SharedBatchSource(const ExecContext& ctx, ExprRef expr)
+      : manager_(ctx.shared_scans),
+        evaluator_(std::make_unique<ExprEvaluator>(
+            ctx.catalog, ctx.store, ctx.methods, ctx.property_cache)),
+        expr_(std::move(expr)) {}
+
+  Status Open() override {
+    if (expr_ != nullptr) {
+      VODAK_ASSIGN_OR_RETURN(
+          consumer_,
+          manager_->AttachSource(expr_->ToString(), [this] {
+            return evaluator_->EvalClosed(expr_);
+          }));
+    } else {
+      VODAK_ASSIGN_OR_RETURN(consumer_, manager_->AttachExtent(class_id_));
+    }
+    pos_ = 0;
+    end_ = 0;
+    return Status::OK();
+  }
+  Result<bool> NextBatch(RowBatch* batch) override {
+    if (pos_ >= end_) {
+      Morsel morsel;
+      if (!consumer_.Next(&morsel)) {
+        batch->Reset(1);
+        return false;
+      }
+      pos_ = morsel.begin;
+      end_ = morsel.end;
+    }
+    // Filling against end_ keeps a batch inside the current morsel,
+    // like MorselBatchSource.
+    return FillScanBatch(batch, end_, &pos_, [this](size_t i) {
+             return consumer_.scan().ValueAt(i);
+           }) > 0;
+  }
+  void Close() override { consumer_ = SharedScanConsumer(); }
+  std::string name() const override { return "SharedScan"; }
+  std::string describe() const override {
+    return expr_ != nullptr ? expr_->ToString() : class_name_;
+  }
+
+ private:
+  SharedScanManager* manager_;
+  std::unique_ptr<ExprEvaluator> evaluator_;
+  ExprRef expr_;
+  std::string class_name_;
+  uint32_t class_id_ = 0;
+  SharedScanConsumer consumer_;
+  size_t pos_ = 0;
+  size_t end_ = 0;
+};
+
+/// The one leaf operator: a scan over an abstract BatchSource. Which
+/// cursor actually feeds it — private, morsel or shared — is decided at
+/// plan-build time; the EXPLAIN name comes from the source so plans
+/// read the same as before the refactor.
+class ScanOp : public PhysOperator {
+ public:
+  ScanOp(std::string ref, BatchSourcePtr source)
+      : PhysOperator({std::move(ref)}), source_(std::move(source)) {}
+
+  Status Open() override {
+    row_pos_ = 0;
+    row_batch_.Reset(1);
+    return source_->Open();
+  }
+  Result<bool> Next(Row* row) override {
+    // The row path drains the source batch-wise through a private
+    // buffer; scan leaves have no per-row evaluation, so this is the
+    // same value stream the dedicated row cursors produced.
+    while (row_pos_ >= row_batch_.num_rows()) {
+      VODAK_ASSIGN_OR_RETURN(bool more, source_->NextBatch(&row_batch_));
+      if (!more) return false;
+      row_pos_ = 0;
+    }
+    row->assign(1, row_batch_.column(0)[row_pos_++]);
+    ++rows_produced_;
+    return true;
+  }
+  Result<bool> NextBatch(RowBatch* batch) override {
+    VODAK_ASSIGN_OR_RETURN(bool more, source_->NextBatch(batch));
+    if (more) rows_produced_ += batch->num_rows();
+    return more;
+  }
+  void Close() override {
+    source_->Close();
+    row_batch_.Reset(0);
+  }
+  std::string name() const override { return source_->name(); }
+  std::string params() const override {
+    return refs_[0] + " IN " + source_->describe();
+  }
+  const std::vector<const PhysOperator*> children() const override {
+    return {};
+  }
+
+ private:
+  BatchSourcePtr source_;
+  RowBatch row_batch_;
+  size_t row_pos_ = 0;
+};
+
 /// Physical select<condition>. Density contract (operator-contract
 /// table, docs/ARCHITECTURE.md §"Selection vectors"): accepts selected
 /// or dense batches, emits *selected* batches — survivors are marked in
@@ -299,7 +381,8 @@ class Filter : public PhysOperator {
  public:
   Filter(const ExecContext& ctx, PhysOpPtr child, ExprRef cond)
       : PhysOperator(child->refs()),
-        evaluator_(ctx.catalog, ctx.store, ctx.methods),
+        evaluator_(ctx.catalog, ctx.store, ctx.methods,
+                   ctx.property_cache),
         child_(std::move(child)),
         cond_(std::move(cond)),
         compacts_(ctx.filter_compacts) {}
@@ -359,7 +442,8 @@ class NestedLoopJoin : public PhysOperator {
                  ExprRef cond, std::vector<std::string> refs,
                  SharedInnerRows* shared = nullptr)
       : PhysOperator(std::move(refs)),
-        evaluator_(ctx.catalog, ctx.store, ctx.methods),
+        evaluator_(ctx.catalog, ctx.store, ctx.methods,
+                   ctx.property_cache),
         left_(std::move(left)),
         right_(std::move(right)),
         cond_(std::move(cond)),
@@ -673,7 +757,8 @@ class MapOp : public PhysOperator {
   MapOp(const ExecContext& ctx, PhysOpPtr child, std::string ref,
         ExprRef expr, std::vector<std::string> refs)
       : PhysOperator(std::move(refs)),
-        evaluator_(ctx.catalog, ctx.store, ctx.methods),
+        evaluator_(ctx.catalog, ctx.store, ctx.methods,
+                   ctx.property_cache),
         child_(std::move(child)),
         new_ref_(std::move(ref)),
         expr_(std::move(expr)) {
@@ -766,7 +851,8 @@ class FlatOp : public PhysOperator {
   FlatOp(const ExecContext& ctx, PhysOpPtr child, std::string ref,
          ExprRef expr, std::vector<std::string> refs)
       : PhysOperator(std::move(refs)),
-        evaluator_(ctx.catalog, ctx.store, ctx.methods),
+        evaluator_(ctx.catalog, ctx.store, ctx.methods,
+                   ctx.property_cache),
         child_(std::move(child)),
         new_ref_(std::move(ref)),
         expr_(std::move(expr)) {
@@ -1048,19 +1134,31 @@ Result<PhysOpPtr> BuildPhysicalImpl(const LogicalRef& plan,
         return Status::PlanError("unknown class '" + plan->class_name() +
                                  "'");
       }
+      BatchSourcePtr source;
       if (state != nullptr && plan.get() == state->driving_leaf) {
-        return PhysOpPtr(
-            new MorselScan(plan->ref(), plan->class_name(), state));
+        source = std::make_unique<MorselBatchSource>(plan->class_name(),
+                                                     state);
+      } else if (ctx.shared_scans != nullptr) {
+        source = std::make_unique<SharedBatchSource>(
+            ctx, plan->class_name(), cls->class_id());
+      } else {
+        source = std::make_unique<ExtentBatchSource>(
+            ctx, plan->class_name(), cls->class_id());
       }
-      return PhysOpPtr(new ExtentScan(ctx, plan->ref(), plan->class_name(),
-                                      cls->class_id()));
+      return PhysOpPtr(new ScanOp(plan->ref(), std::move(source)));
     }
-    case LogicalOp::kExprSource:
+    case LogicalOp::kExprSource: {
+      BatchSourcePtr source;
       if (state != nullptr && plan.get() == state->driving_leaf) {
-        return PhysOpPtr(new MorselScan(plan->ref(),
-                                        plan->expr()->ToString(), state));
+        source = std::make_unique<MorselBatchSource>(
+            plan->expr()->ToString(), state);
+      } else if (ctx.shared_scans != nullptr) {
+        source = std::make_unique<SharedBatchSource>(ctx, plan->expr());
+      } else {
+        source = std::make_unique<ExprBatchSource>(ctx, plan->expr());
       }
-      return PhysOpPtr(new ExprSourceScan(ctx, plan->ref(), plan->expr()));
+      return PhysOpPtr(new ScanOp(plan->ref(), std::move(source)));
+    }
     case LogicalOp::kSelect: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,
                              BuildPhysicalImpl(plan->input(0), ctx, state));
@@ -1236,7 +1334,8 @@ Result<ParallelPlanStatePtr> PrepareParallelPlan(const LogicalRef& plan,
                            ctx.store->Extent(cls->class_id()));
     state->leaf_is_extent = true;
   } else {
-    ExprEvaluator evaluator(ctx.catalog, ctx.store, ctx.methods);
+    ExprEvaluator evaluator(ctx.catalog, ctx.store, ctx.methods,
+                            ctx.property_cache);
     VODAK_ASSIGN_OR_RETURN(Value set, evaluator.EvalClosed(node->expr()));
     if (set.is_null()) {
       state->elements.clear();

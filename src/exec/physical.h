@@ -19,7 +19,12 @@
 #include "expr/expr_eval.h"
 
 namespace vodak {
+
+class PropertyColumnCache;
+
 namespace exec {
+
+class SharedScanManager;
 
 /// The paper's physical algebra, grown from the classic Volcano
 /// open/next/close iterator into a batch-at-a-time pipeline: NextBatch
@@ -65,6 +70,35 @@ class PhysOperator {
 
 using PhysOpPtr = std::unique_ptr<PhysOperator>;
 
+/// Abstract supplier of a leaf scan's rows: one column of values,
+/// delivered batch-at-a-time. Scan leaves are one generic operator
+/// (`ScanOp` in physical.cc) constructed against this interface, so the
+/// same leaf runs over a private cursor (extent / method scan), the
+/// intra-query morsel cursor (parallel worker clones) or a shared-scan
+/// attachment (cross-query sharing, docs/ARCHITECTURE.md §"Shared
+/// scans") — the executor above the leaf cannot tell them apart.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  /// (Re)starts a full pass over the source. Private sources
+  /// materialize here (the scan-pass cost); shared sources attach a
+  /// fresh consumer to the managed scan — which is where a
+  /// late-arriving query joins the in-flight pass.
+  virtual Status Open() = 0;
+  /// Emits the next (dense, single-column) batch; false at end of the
+  /// pass, persistently.
+  virtual Result<bool> NextBatch(RowBatch* batch) = 0;
+  virtual void Close() = 0;
+
+  /// EXPLAIN operator name ("ExtentScan", "MethodScan", "MorselScan",
+  /// "SharedScan") and source description (class or expression).
+  virtual std::string name() const = 0;
+  virtual std::string describe() const = 0;
+};
+
+using BatchSourcePtr = std::unique_ptr<BatchSource>;
+
 /// Everything operators need at runtime.
 struct ExecContext {
   const Catalog* catalog = nullptr;
@@ -76,6 +110,18 @@ struct ExecContext {
   /// section and the selection tests; production paths leave it false
   /// and filter by marking the batch's selection vector instead.
   bool filter_compacts = false;
+  /// Cross-query shared-scan attachment point. When set, every scan
+  /// leaf (extent and method scan) attaches to this manager's shared
+  /// cursors instead of opening a private one, so the K queries of a
+  /// concurrent batch pay ~1 scan pass per source instead of K. Null —
+  /// the default, and the measurable baseline ExecuteConcurrent keeps
+  /// behind its shared_scan flag — builds private-cursor leaves.
+  SharedScanManager* shared_scans = nullptr;
+  /// Cross-query property-column cache (normally the manager's own);
+  /// threaded into every operator's evaluator so attached queries share
+  /// column reads as well as the scan pass. Null reads the store
+  /// directly.
+  PropertyColumnCache* property_cache = nullptr;
 };
 
 /// Compiles a logical plan into a physical operator tree. Algorithm

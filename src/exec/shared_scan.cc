@@ -1,0 +1,95 @@
+#include "exec/shared_scan.h"
+
+#include <utility>
+
+namespace vodak {
+namespace exec {
+
+void SharedScan::InitExtent(std::shared_ptr<const std::vector<Oid>> extent,
+                            size_t morsel_size) {
+  extent_ = std::move(extent);
+  total_ = extent_->size();
+  morsel_size_ = morsel_size == 0 ? 1 : morsel_size;
+  morsel_count_ = (total_ + morsel_size_ - 1) / morsel_size_;
+}
+
+void SharedScan::InitElements(ValueSet elements, size_t morsel_size) {
+  elements_ = std::move(elements);
+  total_ = elements_.size();
+  morsel_size_ = morsel_size == 0 ? 1 : morsel_size;
+  morsel_count_ = (total_ + morsel_size_ - 1) / morsel_size_;
+}
+
+std::shared_ptr<SharedScanManager::Slot> SharedScanManager::SlotFor(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Slot>& slot = slots_[key];
+  if (slot == nullptr) slot = std::make_shared<Slot>();
+  return slot;
+}
+
+Result<SharedScanManager::Slot*> SharedScanManager::EnsureExtentSlot(
+    uint32_t class_id) {
+  std::shared_ptr<Slot> slot =
+      SlotFor("extent:" + std::to_string(class_id));
+  std::call_once(slot->once, [&] {
+    auto extent = store_->Extent(class_id);
+    if (!extent.ok()) {
+      slot->status = extent.status();
+      return;
+    }
+    auto shared = std::make_shared<const std::vector<Oid>>(
+        std::move(extent).value());
+    slot->scan.InitExtent(shared, morsel_size_);
+    // Seed the column cache with the extent we just paid for, so the
+    // first property read of this class fills without a second pass.
+    auto locals = std::make_shared<std::vector<uint32_t>>();
+    locals->reserve(shared->size());
+    for (const Oid& oid : *shared) locals->push_back(oid.local);
+    cache_.SeedLocals(class_id, std::move(locals));
+    materialized_.fetch_add(1, std::memory_order_relaxed);
+  });
+  VODAK_RETURN_IF_ERROR(slot->status);
+  return slot.get();
+}
+
+Result<std::shared_ptr<const std::vector<Oid>>>
+SharedScanManager::SharedExtent(uint32_t class_id) {
+  VODAK_ASSIGN_OR_RETURN(Slot * slot, EnsureExtentSlot(class_id));
+  return slot->scan.extent();
+}
+
+Result<SharedScanConsumer> SharedScanManager::AttachExtent(
+    uint32_t class_id) {
+  VODAK_ASSIGN_OR_RETURN(Slot * slot, EnsureExtentSlot(class_id));
+  return SharedScanConsumer(&slot->scan);
+}
+
+Result<SharedScanConsumer> SharedScanManager::AttachSource(
+    const std::string& key,
+    const std::function<Result<Value>()>& materialize) {
+  std::shared_ptr<Slot> slot = SlotFor("expr:" + key);
+  std::call_once(slot->once, [&] {
+    auto set = materialize();
+    if (!set.ok()) {
+      slot->status = set.status();
+      return;
+    }
+    ValueSet elements;
+    if (set.value().is_set()) {
+      elements = set.value().AsSet();
+    } else if (!set.value().is_null()) {
+      slot->status = Status::ExecError(
+          "shared scan source evaluated to non-set " +
+          set.value().ToString());
+      return;
+    }
+    slot->scan.InitElements(std::move(elements), morsel_size_);
+    materialized_.fetch_add(1, std::memory_order_relaxed);
+  });
+  VODAK_RETURN_IF_ERROR(slot->status);
+  return SharedScanConsumer(&slot->scan);
+}
+
+}  // namespace exec
+}  // namespace vodak

@@ -1,0 +1,191 @@
+// Shared scans: one extent pass fanned out to many concurrent queries
+// (docs/ARCHITECTURE.md §"Shared scans"). The inverse of the morsel
+// pipeline — MorselSource partitions one scan across the workers of
+// one query; a SharedScan broadcasts one scan to every attached query.
+#ifndef VODAK_EXEC_SHARED_SCAN_H_
+#define VODAK_EXEC_SHARED_SCAN_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/morsel_source.h"
+#include "objstore/property_cache.h"
+#include "types/value.h"
+
+namespace vodak {
+namespace exec {
+
+/// One shared scan: a source (class extent or method-scan result)
+/// materialized exactly once, split into fixed-boundary morsels, plus
+/// the batch fan-out clock. Unlike MorselSource — whose atomic cursor
+/// *partitions* the morsels among one query's workers — a SharedScan
+/// hands **every** morsel to **every** attached consumer exactly once:
+/// a consumer walks the morsel ring from its attach position, so a
+/// late-arriving query joins the scan wherever it currently is and
+/// circles back for the morsels it missed.
+///
+/// Configured single-threaded by the manager's materialization
+/// (call_once); afterwards only the relaxed clock mutates.
+class SharedScan {
+ public:
+  SharedScan() = default;
+  SharedScan(const SharedScan&) = delete;
+  SharedScan& operator=(const SharedScan&) = delete;
+
+  void InitExtent(std::shared_ptr<const std::vector<Oid>> extent,
+                  size_t morsel_size);
+  void InitElements(ValueSet elements, size_t morsel_size);
+
+  size_t total() const { return total_; }
+  size_t morsel_count() const { return morsel_count_; }
+  /// Fixed morsel boundaries: morsel i covers
+  /// [i * morsel_size, min((i+1) * morsel_size, total)).
+  Morsel MorselAt(size_t index) const {
+    Morsel m;
+    m.begin = index * morsel_size_;
+    m.end = std::min(m.begin + morsel_size_, total_);
+    return m;
+  }
+  /// The i-th scan row (an Oid value for extents, the materialized
+  /// element otherwise).
+  Value ValueAt(size_t i) const {
+    return extent_ != nullptr ? Value::OfOid((*extent_)[i])
+                              : elements_[i];
+  }
+
+  bool is_extent() const { return extent_ != nullptr; }
+  const std::shared_ptr<const std::vector<Oid>>& extent() const {
+    return extent_;
+  }
+
+  /// Where a consumer attaching *now* starts its ring walk: the morsel
+  /// the group most recently claimed. Purely a locality hint — a late
+  /// attacher rides along with the in-flight scan and wraps around for
+  /// the prefix it missed; exactly-once per consumer holds for any
+  /// start.
+  size_t AttachStart() const {
+    return morsel_count_ == 0
+               ? 0
+               : clock_.load(std::memory_order_relaxed) % morsel_count_;
+  }
+  void NoteClaim(size_t morsel_index) {
+    clock_.store(morsel_index + 1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<Oid>> extent_;
+  ValueSet elements_;
+  size_t total_ = 0;
+  size_t morsel_size_ = kDefaultMorselSize;
+  size_t morsel_count_ = 0;
+  std::atomic<size_t> clock_{0};
+};
+
+/// One query's pass over a shared scan. Each consumer sees every morsel
+/// of the scan exactly once, in ring order from its attach position.
+/// Not thread-safe (a consumer belongs to one query's drain); distinct
+/// consumers of one scan are independent.
+class SharedScanConsumer {
+ public:
+  SharedScanConsumer() = default;
+  explicit SharedScanConsumer(SharedScan* scan)
+      : scan_(scan), start_(scan->AttachStart()) {}
+
+  bool attached() const { return scan_ != nullptr; }
+  const SharedScan& scan() const { return *scan_; }
+
+  /// Claims this consumer's next morsel; false once it has seen the
+  /// whole ring.
+  bool Next(Morsel* morsel) {
+    if (scan_ == nullptr || consumed_ >= scan_->morsel_count()) {
+      return false;
+    }
+    const size_t index = (start_ + consumed_) % scan_->morsel_count();
+    ++consumed_;
+    scan_->NoteClaim(index);
+    *morsel = scan_->MorselAt(index);
+    return true;
+  }
+
+ private:
+  SharedScan* scan_ = nullptr;
+  size_t start_ = 0;
+  size_t consumed_ = 0;
+};
+
+/// Registry of the shared scans of one concurrent query batch, keyed on
+/// the scan source: a class extent (`extent:<class_id>`) or a closed
+/// method-scan expression (`expr:<expr string>`). The first attach (or
+/// SharedExtent call) materializes the source — one store Extent() /
+/// one method dispatch for the whole batch — under a per-slot
+/// once_flag; every query thereafter attaches a consumer to the same
+/// materialization. The manager also owns the batch's
+/// PropertyColumnCache, so attached queries share column reads as well
+/// as the scan pass.
+///
+/// Lifetime: created per ExecuteConcurrent call (or per
+/// RunNaiveConcurrent batch); queries must not outlive the manager.
+class SharedScanManager {
+ public:
+  explicit SharedScanManager(ObjectStore* store,
+                             size_t morsel_size = kDefaultMorselSize)
+      : store_(store),
+        morsel_size_(morsel_size == 0 ? 1 : morsel_size),
+        cache_(store) {}
+  SharedScanManager(const SharedScanManager&) = delete;
+  SharedScanManager& operator=(const SharedScanManager&) = delete;
+
+  /// The materialize-once extent of `class_id` (one store Extent()
+  /// call per class per manager). Shared with the naive interpreter's
+  /// concurrent runs, which want the extent itself rather than a
+  /// morsel ring.
+  Result<std::shared_ptr<const std::vector<Oid>>> SharedExtent(
+      uint32_t class_id);
+
+  /// Attaches a consumer to the shared scan over `class_id`'s extent.
+  Result<SharedScanConsumer> AttachExtent(uint32_t class_id);
+
+  /// Attaches a consumer to the shared scan over the set produced by
+  /// `materialize` (a closed method-scan parameter); `key` identifies
+  /// the source (the expression's string form). `materialize` runs
+  /// once per key, on the first attacher.
+  Result<SharedScanConsumer> AttachSource(
+      const std::string& key,
+      const std::function<Result<Value>()>& materialize);
+
+  /// The batch's cross-query property-column cache.
+  PropertyColumnCache* property_cache() { return &cache_; }
+
+  /// Distinct sources materialized so far (== scan passes paid).
+  size_t materialized_scans() const {
+    return materialized_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    Status status = Status::OK();
+    SharedScan scan;
+  };
+
+  std::shared_ptr<Slot> SlotFor(const std::string& key);
+  Result<Slot*> EnsureExtentSlot(uint32_t class_id);
+
+  ObjectStore* store_;
+  size_t morsel_size_;
+  PropertyColumnCache cache_;
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Slot>> slots_;
+  std::atomic<size_t> materialized_{0};
+};
+
+}  // namespace exec
+}  // namespace vodak
+
+#endif  // VODAK_EXEC_SHARED_SCAN_H_

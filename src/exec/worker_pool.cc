@@ -4,6 +4,7 @@ namespace vodak {
 namespace exec {
 
 WorkerPool::WorkerPool(size_t parallelism) {
+  parallelism = ResolveThreads(parallelism);
   const size_t background = parallelism > 1 ? parallelism - 1 : 0;
   threads_.reserve(background);
   for (size_t i = 0; i < background; ++i) {

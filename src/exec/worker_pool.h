@@ -13,8 +13,12 @@
 namespace vodak {
 namespace exec {
 
-/// 0 → hardware concurrency (at least 1), otherwise `threads` itself.
-/// The shared thread-count convention of every parallel knob.
+/// 0 → hardware concurrency (itself guarded: a libc that reports 0
+/// resolves to 1), otherwise `threads` itself. This is the single
+/// resolution point for every thread-count knob — the engine's
+/// ExecOptions, the interpreter's Options, the parallel drivers and
+/// the WorkerPool constructor all route through it, so no call site
+/// carries its own hardware_concurrency guard.
 inline size_t ResolveThreads(size_t threads) {
   if (threads != 0) return threads;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -36,7 +40,9 @@ inline size_t ResolveThreads(size_t threads) {
 class WorkerPool {
  public:
   /// Creates a pool with `parallelism` total lanes: the caller of
-  /// ParallelRun plus (parallelism - 1) background threads.
+  /// ParallelRun plus (parallelism - 1) background threads. The count
+  /// goes through ResolveThreads, so 0 means hardware concurrency here
+  /// too rather than a degenerate single-lane pool.
   explicit WorkerPool(size_t parallelism);
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;

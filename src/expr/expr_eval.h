@@ -10,6 +10,8 @@
 
 namespace vodak {
 
+class PropertyColumnCache;
+
 /// Variable bindings for one evaluation (query variable -> value).
 using Env = std::map<std::string, Value>;
 
@@ -63,9 +65,18 @@ struct BatchEnv {
 /// invoked for all objects in the set").
 class ExprEvaluator {
  public:
+  /// `property_cache` (optional) routes the *batched* property-column
+  /// reads through a shared read-through cache — the shared-scan
+  /// pipeline's cross-query column sharing (docs/ARCHITECTURE.md
+  /// §"Shared scans"). The scalar Eval path always reads the store
+  /// directly, so the row-mode oracle stays cache-independent.
   ExprEvaluator(const Catalog* catalog, ObjectStore* store,
-                MethodRegistry* methods)
-      : catalog_(catalog), store_(store), methods_(methods) {}
+                MethodRegistry* methods,
+                PropertyColumnCache* property_cache = nullptr)
+      : catalog_(catalog),
+        store_(store),
+        methods_(methods),
+        property_cache_(property_cache) {}
 
   Result<Value> Eval(const ExprRef& e, const Env& env) const;
 
@@ -138,6 +149,7 @@ class ExprEvaluator {
   const Catalog* catalog_;
   ObjectStore* store_;
   MethodRegistry* methods_;
+  PropertyColumnCache* property_cache_;
 };
 
 }  // namespace vodak

@@ -1,0 +1,86 @@
+#include "objstore/property_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vodak {
+
+void PropertyColumnCache::SeedLocals(
+    uint32_t class_id,
+    std::shared_ptr<const std::vector<uint32_t>> locals) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const std::vector<uint32_t>>& entry = seeded_[class_id];
+  if (entry == nullptr) entry = std::move(locals);  // first seed wins
+}
+
+std::shared_ptr<PropertyColumnCache::Column> PropertyColumnCache::EntryFor(
+    uint32_t class_id, uint32_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Column>& entry = columns_[{class_id, slot}];
+  if (entry == nullptr) entry = std::make_shared<Column>();
+  return entry;
+}
+
+std::shared_ptr<const std::vector<uint32_t>> PropertyColumnCache::SeededLocals(
+    uint32_t class_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = seeded_.find(class_id);
+  return it == seeded_.end() ? nullptr : it->second;
+}
+
+Status PropertyColumnCache::ReadColumn(uint32_t class_id, uint32_t slot,
+                                       const std::vector<uint32_t>& locals,
+                                       size_t begin, size_t end,
+                                       std::vector<Value>* out) {
+  std::shared_ptr<const std::vector<uint32_t>> all =
+      SeededLocals(class_id);
+  if (all == nullptr) {
+    // Class not covered by the shared scan: read through with the
+    // store's own range call. Caching here would cost an extent pass
+    // plus a full-column read the private baseline never pays.
+    fallback_rows_.fetch_add(end - begin, std::memory_order_relaxed);
+    return store_->GetPropertyColumn(class_id, slot, locals, begin, end,
+                                     out);
+  }
+  std::shared_ptr<Column> entry = EntryFor(class_id, slot);
+  std::call_once(entry->once, [&] {
+    std::vector<Value> values;
+    entry->status = store_->GetPropertyColumn(class_id, slot, *all,
+                                              0, all->size(), &values);
+    if (!entry->status.ok()) return;
+    uint32_t max_local = 0;
+    for (uint32_t local : *all) max_local = std::max(max_local, local);
+    entry->by_local.assign(all->empty() ? 0 : max_local + 1, Value::Null());
+    entry->present.assign(entry->by_local.size(), 0);
+    for (size_t i = 0; i < all->size(); ++i) {
+      entry->by_local[(*all)[i]] = std::move(values[i]);
+      entry->present[(*all)[i]] = 1;
+    }
+    fills_.fetch_add(1, std::memory_order_relaxed);
+  });
+  VODAK_RETURN_IF_ERROR(entry->status);
+
+  uint64_t hits = 0;
+  uint64_t fallbacks = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const uint32_t local = locals[i];
+    if (local < entry->present.size() && entry->present[local]) {
+      out->push_back(entry->by_local[local]);
+      ++hits;
+      continue;
+    }
+    // Outside the snapshot (created after the fill, or an error class):
+    // read through so the cache can only be cold, never wrong.
+    VODAK_ASSIGN_OR_RETURN(Value v,
+                           store_->GetProperty(Oid(class_id, local), slot));
+    out->push_back(std::move(v));
+    ++fallbacks;
+  }
+  if (hits != 0) hit_rows_.fetch_add(hits, std::memory_order_relaxed);
+  if (fallbacks != 0) {
+    fallback_rows_.fetch_add(fallbacks, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+}  // namespace vodak

@@ -1,0 +1,102 @@
+// Cross-query property-column cache behind the shared-scan pipeline
+// (docs/ARCHITECTURE.md §"Shared scans"). One store column read per
+// (class, slot) serves every attached query.
+#ifndef VODAK_OBJSTORE_PROPERTY_CACHE_H_
+#define VODAK_OBJSTORE_PROPERTY_CACHE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "objstore/object_store.h"
+
+namespace vodak {
+
+/// Read-through cache of whole property columns, shared by the queries
+/// attached to one SharedScanManager. For a class whose extent the
+/// shared scan materialized (registered via SeedLocals), the first
+/// read of a (class, slot) pair materializes the full column with a
+/// single ObjectStore::GetPropertyColumn call; every later read — from
+/// any query, on any worker — is served from the snapshot without
+/// touching the store, which is what drops a K-query batch's
+/// property-read stats from ~K× the extent size to ~1×.
+///
+/// Unseeded classes (touched only through path reads, never
+/// leaf-scanned by the batch) read straight through to the store: a
+/// full-column fill there would cost an extent pass plus an
+/// extent-sized read the private baseline never pays, so the cache
+/// only ever *removes* store work relative to the baseline.
+///
+/// The snapshot is taken at first touch and assumes what query
+/// execution already assumes everywhere else: the store is read-only
+/// while queries run. Locals outside the snapshot (objects created
+/// after the fill) fall back to per-object store reads, so the cache
+/// is never wrong, only cold.
+///
+/// Thread-safe: entries are created under a mutex and filled under a
+/// per-entry once_flag (the SharedJoinBuild idiom), so concurrent
+/// first readers block on one fill instead of racing.
+class PropertyColumnCache {
+ public:
+  explicit PropertyColumnCache(ObjectStore* store) : store_(store) {}
+  PropertyColumnCache(const PropertyColumnCache&) = delete;
+  PropertyColumnCache& operator=(const PropertyColumnCache&) = delete;
+
+  /// Registers the live locals of a class (the shared scan's
+  /// already-materialized extent) as eligible for full-column caching.
+  /// Only seeded classes are cached; see the class comment.
+  void SeedLocals(uint32_t class_id,
+                  std::shared_ptr<const std::vector<uint32_t>> locals);
+
+  /// Appends the value of `slot` for every local in locals[begin, end)
+  /// to `out`, in order — the contract of the range-scoped
+  /// ObjectStore::GetPropertyColumn — served from the cached column
+  /// for seeded classes, straight from the store otherwise.
+  Status ReadColumn(uint32_t class_id, uint32_t slot,
+                    const std::vector<uint32_t>& locals, size_t begin,
+                    size_t end, std::vector<Value>* out);
+
+  /// Full-column store reads performed (one per distinct (class, slot)
+  /// touched).
+  uint64_t fill_count() const {
+    return fills_.load(std::memory_order_relaxed);
+  }
+  /// Rows served from the snapshot without a store read.
+  uint64_t hit_rows() const {
+    return hit_rows_.load(std::memory_order_relaxed);
+  }
+  /// Rows outside the snapshot, read through to the store.
+  uint64_t fallback_rows() const {
+    return fallback_rows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Column {
+    std::once_flag once;
+    Status status = Status::OK();
+    /// Snapshot indexed by local id; `present[local]` distinguishes a
+    /// cached NULL from a local outside the snapshot.
+    std::vector<Value> by_local;
+    std::vector<char> present;
+  };
+
+  std::shared_ptr<Column> EntryFor(uint32_t class_id, uint32_t slot);
+  /// The seeded locals of `class_id`, or null when the class is not
+  /// covered by the shared scan (read-through case).
+  std::shared_ptr<const std::vector<uint32_t>> SeededLocals(
+      uint32_t class_id);
+
+  ObjectStore* store_;
+  std::mutex mu_;
+  std::map<std::pair<uint32_t, uint32_t>, std::shared_ptr<Column>> columns_;
+  std::map<uint32_t, std::shared_ptr<const std::vector<uint32_t>>> seeded_;
+  std::atomic<uint64_t> fills_{0};
+  std::atomic<uint64_t> hit_rows_{0};
+  std::atomic<uint64_t> fallback_rows_{0};
+};
+
+}  // namespace vodak
+
+#endif  // VODAK_OBJSTORE_PROPERTY_CACHE_H_

@@ -18,6 +18,10 @@ constexpr double kDefaultEqSelectivity = 0.05;
 constexpr double kDefaultRangeSelectivity = 0.3;
 }  // namespace
 
+double CostModel::BatchCount(double rows) {
+  return std::max(1.0, std::ceil(rows / kAssumedBatchRows));
+}
+
 CostModel::CostModel(const Catalog* catalog, const ObjectStore* store,
                      const MethodRegistry* methods,
                      std::vector<MethodStatsProvider> providers)
@@ -250,14 +254,32 @@ double CostModel::EstimateCardinality(
 
 double CostModel::LocalCost(const LogicalNode& node,
                             const std::vector<double>& child_cards) const {
+  // Batch-aware operator pricing: per-row emit work priced by how the
+  // batched operator emits (mark / scatter / dense build / row path),
+  // plus kBatchOverheadCost per NextBatch call the operator makes over
+  // its input (BatchCount of the consumed rows). See the class comment
+  // and docs/ARCHITECTURE.md §"Cost model".
   switch (node.op()) {
-    case LogicalOp::kGet:
-      return kTupleEmitCost * ExtentCardinality(node.class_name());
-    case LogicalOp::kExprSource:
-      return ExprCost(node.expr()) +
-             kTupleEmitCost * std::max(0.0, Fanout(node.expr()));
+    case LogicalOp::kGet: {
+      // Column-at-a-time extent slicing: one emitted value per row plus
+      // the per-batch fill overhead.
+      const double rows = ExtentCardinality(node.class_name());
+      return kTupleEmitCost * rows + kBatchOverheadCost * BatchCount(rows);
+    }
+    case LogicalOp::kExprSource: {
+      const double rows = std::max(0.0, Fanout(node.expr()));
+      return ExprCost(node.expr()) + kTupleEmitCost * rows +
+             kBatchOverheadCost * BatchCount(rows);
+    }
     case LogicalOp::kSelect:
-      return child_cards[0] * (ExprCost(node.expr()) + kOpCost);
+      // The production filter *marks* survivors (selection vector):
+      // predicate evaluation per input row, a mark per surviving row,
+      // no value moves. (The compacting baseline would pay
+      // kCompactMoveCost per survivor per filter instead — priced out,
+      // which is exactly why marking is the default.)
+      return child_cards[0] * ExprCost(node.expr()) +
+             child_cards[0] * Selectivity(node.expr()) * kMarkCostPerRow +
+             kBatchOverheadCost * BatchCount(child_cards[0]);
     case LogicalOp::kJoin: {
       const ExprRef& cond = node.expr();
       // Hash join applies to bare-variable equality conditions; the
@@ -267,26 +289,42 @@ double CostModel::LocalCost(const LogicalNode& node,
                       cond->lhs()->kind() == ExprKind::kVar &&
                       cond->rhs()->kind() == ExprKind::kVar;
       if (hashable) {
-        return kHashCostFactor * (child_cards[0] + child_cards[1]);
+        // Probe side probes per row through the selection view; the
+        // build side is a density boundary — each build row is
+        // compacted once into the table on top of its hash insert.
+        return kHashCostFactor * (child_cards[0] + child_cards[1]) +
+               kCompactMoveCost * child_cards[1] +
+               kBatchOverheadCost *
+                   (BatchCount(child_cards[0]) + BatchCount(child_cards[1]));
       }
+      // Nested loop stays on the row path: per-pair pricing.
       double per_pair = cond->kind() == ExprKind::kConst
                             ? kOpCost
                             : ExprCost(cond) + kOpCost;
       return child_cards[0] * child_cards[1] * per_pair;
     }
     case LogicalOp::kNaturalJoin:
-      return kHashCostFactor * (child_cards[0] + child_cards[1]);
+      return kHashCostFactor * (child_cards[0] + child_cards[1]) +
+             kCompactMoveCost * child_cards[1] +
+             kBatchOverheadCost *
+                 (BatchCount(child_cards[0]) + BatchCount(child_cards[1]));
     case LogicalOp::kUnion:
     case LogicalOp::kDiff:
+      // Row-path operators (default batch adapter): per-row pricing.
       return 1.2 * (child_cards[0] + child_cards[1]);
     case LogicalOp::kMap:
-      return child_cards[0] * (ExprCost(node.expr()) + kOpCost);
+      // Scatter of the computed column + wholesale pass-through moves.
+      return child_cards[0] * (ExprCost(node.expr()) + kOpCost) +
+             kBatchOverheadCost * BatchCount(child_cards[0]);
     case LogicalOp::kFlat:
       return child_cards[0] * (ExprCost(node.expr()) + kOpCost) +
              child_cards[0] * std::max(0.0, Fanout(node.expr())) *
-                 kTupleEmitCost;
+                 kTupleEmitCost +
+             kBatchOverheadCost * BatchCount(child_cards[0]);
     case LogicalOp::kProject:
-      return child_cards[0] * kTupleEmitCost;
+      // Dense by construction: hash + emit per live input row.
+      return child_cards[0] * kTupleEmitCost +
+             kBatchOverheadCost * BatchCount(child_cards[0]);
     case LogicalOp::kGroupRef:
       return 0.0;
   }

@@ -44,11 +44,40 @@ using MethodStatsProvider = std::function<std::optional<MethodStats>(
 /// while class-object calls are priced as one full dispatch — they are
 /// either method-scan parameters (invoked once per query) or deduped to
 /// one probe per batch by the constant-argument batch implementations.
+///
+/// Operator costs are split the same way (docs/ARCHITECTURE.md §"Cost
+/// model"): each operator pays a per-batch term — kBatchOverheadCost
+/// per NextBatch call it makes, i.e. per ceil(rows / kAssumedBatchRows)
+/// — plus per-row emit work priced by *how* the batched operator
+/// actually emits. A Filter marks survivors in the selection vector
+/// (kMarkCostPerRow, far below a tuple emit; the compacting baseline
+/// behind ExecContext::filter_compacts would instead pay
+/// kCompactMoveCost per surviving row per filter — why it is the
+/// baseline, not the production path). A hash-join build crosses a
+/// density boundary, so its build rows pay one kCompactMoveCost on top
+/// of the hash insert. Row-path operators (nested-loop join, set ops)
+/// keep plain per-row pricing.
 class CostModel {
  public:
   /// Rows the executor's NextBatch pipeline typically moves per batch
   /// (mirrors exec::kDefaultBatchSize without a layering dependency).
   static constexpr double kAssumedBatchRows = 1024.0;
+  /// Fixed cost of one NextBatch call: virtual dispatch, batch reset,
+  /// per-batch evaluator setup. Paid once per ~kAssumedBatchRows rows,
+  /// not per row — the whole point of the vectorized pipeline.
+  static constexpr double kBatchOverheadCost = 4.0;
+  /// Marking one surviving row in a batch's selection vector (the
+  /// production filter's per-row emit: no value moves).
+  static constexpr double kMarkCostPerRow = 0.02;
+  /// Moving one row's values across a density boundary (Compact() at
+  /// the hash-join build / row hand-off; also what the compacting
+  /// filter baseline pays per surviving row per filter).
+  static constexpr double kCompactMoveCost = 0.5;
+
+  /// NextBatch calls needed for `rows` output rows: ceil(rows /
+  /// kAssumedBatchRows), at least 1 (every operator pays its end-of-
+  /// stream call even when empty).
+  static double BatchCount(double rows);
   CostModel(const Catalog* catalog, const ObjectStore* store,
             const MethodRegistry* methods,
             std::vector<MethodStatsProvider> providers = {});

@@ -4,6 +4,7 @@
 #include "common/result.h"
 #include "exec/morsel_source.h"
 #include "exec/row_batch.h"
+#include "exec/shared_scan.h"
 #include "exec/worker_pool.h"
 #include "expr/expr_eval.h"
 #include "vql/ast.h"
@@ -45,6 +46,14 @@ class Interpreter {
     size_t morsel_size = exec::kDefaultMorselSize;
     /// Reusable pool; when null an ephemeral pool is created.
     exec::WorkerPool* pool = nullptr;
+    /// Cross-query shared scans: when set, every extent range reads its
+    /// class extension through the manager's materialize-once
+    /// SharedExtent instead of a private store Extent() call, so a
+    /// batch of concurrent naive runs pays one extent pass per class
+    /// (engine::Database::RunNaiveConcurrent installs this). Owned by
+    /// the caller; evaluation semantics are unchanged — row_mode with a
+    /// manager installed is still the row-at-a-time oracle.
+    exec::SharedScanManager* shared_scans = nullptr;
   };
 
   Interpreter(const Catalog* catalog, ObjectStore* store,
@@ -81,6 +90,11 @@ class Interpreter {
   Status RunParallel(const BoundQuery& query, const Options& options,
                      const std::vector<Oid>& extent, size_t threads,
                      std::vector<Value>* out) const;
+  /// The extent of `class_id` — through the shared-scan manager when
+  /// Options::shared_scans is set (materialize-once across queries),
+  /// a private store scan otherwise.
+  Result<std::shared_ptr<const std::vector<Oid>>> ExtentFor(
+      const Options& options, uint32_t class_id) const;
 
   ExprEvaluator evaluator_;
 };

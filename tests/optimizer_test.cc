@@ -134,6 +134,52 @@ TEST_F(OptimizerTest, CostModelSelectivityOfConjunction) {
   EXPECT_DOUBLE_EQ(not_sel, 1.0 - sel_single);
 }
 
+TEST_F(OptimizerTest, CostModelPricesOperatorsPerBatch) {
+  // Batch-aware operator pricing (the ROADMAP "batch-aware cost model"
+  // item): the per-batch overhead term is paid once per
+  // kAssumedBatchRows input rows, not per row, and the production
+  // filter's per-row emit is a selection-vector mark, priced far below
+  // a tuple emit or a density-boundary move.
+  ExprRef cond = vql::ParseExpr("p.number == 0").value();
+  auto get = ctx_->Get("p", "Paragraph").value();
+  auto select = ctx_->Select(cond, get).value();
+
+  // Exact calibration of the select formula: per-row predicate cost,
+  // a mark per expected survivor, one batch of overhead per 1024 rows.
+  const double rows = CostModel::kAssumedBatchRows;
+  const double expected =
+      rows * cost_->ExprCost(cond) +
+      rows * cost_->Selectivity(cond) * CostModel::kMarkCostPerRow +
+      CostModel::kBatchOverheadCost;
+  EXPECT_DOUBLE_EQ(cost_->LocalCost(*select, {rows}), expected);
+
+  // The overhead amortizes: 10 batches of rows cost 10x one batch
+  // (both are exact multiples of the batch size), while a one-row
+  // select still pays its full end-of-stream NextBatch call.
+  EXPECT_DOUBLE_EQ(cost_->LocalCost(*select, {10 * rows}),
+                   10 * cost_->LocalCost(*select, {rows}));
+  EXPECT_GT(cost_->LocalCost(*select, {1.0}),
+            CostModel::kBatchOverheadCost);
+
+  // Marking must price below what a compacting filter would pay for
+  // the same survivors (kCompactMoveCost per surviving row) — the
+  // model's justification for the selection-vector default.
+  EXPECT_LT(CostModel::kMarkCostPerRow, CostModel::kCompactMoveCost);
+
+  // Hash-join build rows carry the density-boundary move on top of the
+  // hash work, so growing the build side costs more than growing the
+  // probe side by the same amount.
+  auto left = ctx_->Select(vql::ParseExpr("p.number == 0").value(),
+                           ctx_->Get("p", "Paragraph").value())
+                  .value();
+  auto right = ctx_->Select(vql::ParseExpr("p.number == 1").value(),
+                            ctx_->Get("p", "Paragraph").value())
+                   .value();
+  auto join = ctx_->NaturalJoin(left, right).value();
+  EXPECT_GT(cost_->LocalCost(*join, {rows, 2 * rows}),
+            cost_->LocalCost(*join, {2 * rows, rows}));
+}
+
 TEST_F(OptimizerTest, BuiltinRulesPreserveSemantics) {
   // Soundness property: for every builtin rule and every binding found
   // while optimizing a mix of queries, both sides of the rewrite must
