@@ -1,0 +1,158 @@
+// Compile-time concurrency contracts: Clang Thread Safety Analysis
+// attributes plus the annotated lock types the analysis needs
+// (docs/ARCHITECTURE.md §"Static analysis & concurrency contracts").
+//
+// The macro set is the standard GUARDED_BY/REQUIRES/ACQUIRE/RELEASE
+// vocabulary from the Clang documentation; on non-clang compilers (and
+// on clang without the attribute) every macro expands to nothing, so
+// gcc builds are byte-identical. The clang CI legs build with
+// `-Wthread-safety -Werror=thread-safety` (CMake option
+// VODAK_THREAD_SAFETY), turning every locking-discipline violation —
+// a GUARDED_BY field touched without its mutex, a lock leaked out of
+// scope, a REQUIRES contract broken by a caller — into a build error
+// on every compile, not a TSan finding on the interleavings a test
+// happens to hit.
+//
+// libstdc++'s std::mutex carries no capability attributes, so guarding
+// a field with a raw std::mutex would make every *correct* access a
+// false positive. Concurrent structures therefore use the annotated
+// wrappers below (vodak::Mutex + MutexLock/UniqueLock), which forward
+// to std::mutex and cost nothing beyond it. scripts/lint.py enforces
+// that every mutex member in src/ has a GUARDED_BY-annotated field set
+// (or an explicit `lint: no-guarded-fields(reason)` waiver).
+#ifndef VODAK_COMMON_THREAD_ANNOTATIONS_H_
+#define VODAK_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define VODAK_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef VODAK_THREAD_ANNOTATION
+#define VODAK_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define CAPABILITY(x) VODAK_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY VODAK_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written while holding `x`.
+#define GUARDED_BY(x) VODAK_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field: the *pointee* may only be accessed while holding `x`.
+#define PT_GUARDED_BY(x) VODAK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the capability (exclusively / shared) on entry.
+#define REQUIRES(...) \
+  VODAK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  VODAK_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (and does not release it).
+#define ACQUIRE(...) \
+  VODAK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  VODAK_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/// Function releases a held capability.
+#define RELEASE(...) \
+  VODAK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  VODAK_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  VODAK_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function takes it itself);
+/// the deadlock-prevention half of the vocabulary.
+#define EXCLUDES(...) VODAK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock ordering: this mutex must be acquired after / before `x`.
+#define ACQUIRED_AFTER(...) \
+  VODAK_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define ACQUIRED_BEFORE(...) \
+  VODAK_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Returns a reference to the capability guarding the returned data.
+#define RETURN_CAPABILITY(x) VODAK_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions the analysis cannot follow (init paths,
+/// test shims). Use sparingly and say why at the use site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  VODAK_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace vodak {
+
+/// std::mutex with the capability attribute the analysis keys on.
+/// Same cost, same semantics; exists only because libstdc++'s mutex is
+/// unannotated. Locked via MutexLock/UniqueLock below (or lock() /
+/// unlock() directly in the rare manual-scope case).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;  // lint: no-guarded-fields(the wrapper IS the lock)
+};
+
+/// std::lock_guard over vodak::Mutex: acquire in the constructor,
+/// release in the destructor, nothing else.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over vodak::Mutex: a relockable scoped capability
+/// (the analysis tracks the lock()/unlock() calls), and the lock type
+/// std::condition_variable_any waits on — wait(lock) releases and
+/// reacquires inside the call, so the capability is held at both edges
+/// of wait(), which is exactly what the analysis checks.
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), owned_(true) {
+    mu_.lock();
+  }
+  ~UniqueLock() RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+  void unlock() RELEASE() {
+    owned_ = false;
+    mu_.unlock();
+  }
+
+  // lock()/unlock() double as the BasicLockable surface that
+  // std::condition_variable_any::wait drives. The release/reacquire
+  // pair inside wait() happens in libstdc++ header code, where clang
+  // suppresses analysis diagnostics (system headers), and wait()
+  // itself carries no attributes — so from the caller's view the
+  // capability is held across the call, which matches reality at both
+  // edges of wait().
+
+ private:
+  Mutex& mu_;
+  bool owned_;
+};
+
+}  // namespace vodak
+
+#endif  // VODAK_COMMON_THREAD_ANNOTATIONS_H_

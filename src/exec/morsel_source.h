@@ -43,7 +43,13 @@ struct Morsel {
 /// cursor. Workers call Next() until it returns false; the claims
 /// partition [0, total) exactly, so per-worker scans never overlap and
 /// never miss a row. Reset/total/morsel_size must not race with Next
-/// (the driver configures the source before starting the workers).
+/// (the driver configures the source before starting the workers, and
+/// the pool's ParallelRun fork/join is the happens-before edge that
+/// publishes the plain fields — so only the cursor needs atomicity,
+/// and relaxed order suffices: each claim is independent and no other
+/// data is ordered against it. See docs/ARCHITECTURE.md §"Static
+/// analysis & concurrency contracts" for the memory-order rules
+/// scripts/lint.py enforces here).
 class MorselSource {
  public:
   MorselSource() = default;

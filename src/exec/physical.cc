@@ -88,13 +88,21 @@ using JoinTable = std::unordered_map<Row, std::vector<Row>, RowHash, RowEq>;
 /// Once-built hash-join table shared read-only by the worker clones of
 /// one logical join node. The winner of the call_once races builds from
 /// its own (deterministic) build subtree; everyone probes the result.
+///
+/// Concurrency contract (docs/ARCHITECTURE.md §"Static analysis &
+/// concurrency contracts"): `table`/`status` are published by `once` —
+/// call_once's release/acquire edge is the only synchronization, so
+/// they are written exclusively inside the call_once body and
+/// read-only ever after. No mutex, hence no GUARDED_BY: the once_flag
+/// plays the capability's role and TSan verifies the edge.
 struct SharedJoinBuild {
   std::once_flag once;
   JoinTable table;
   Status status = Status::OK();
 };
 
-/// Same sharing for a nested-loop join's materialized inner side.
+/// Same sharing (and the same once-publication contract) for a
+/// nested-loop join's materialized inner side.
 struct SharedInnerRows {
   std::once_flag once;
   std::vector<Row> rows;

@@ -22,7 +22,7 @@ void SharedScan::InitElements(ValueSet elements, size_t morsel_size) {
 
 std::shared_ptr<SharedScanManager::Slot> SharedScanManager::SlotFor(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::shared_ptr<Slot>& slot = slots_[key];
   if (slot == nullptr) slot = std::make_shared<Slot>();
   return slot;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "exec/morsel_source.h"
 #include "objstore/property_cache.h"
 #include "types/value.h"
@@ -146,10 +147,11 @@ class SharedScanManager {
   /// concurrent runs, which want the extent itself rather than a
   /// morsel ring.
   Result<std::shared_ptr<const std::vector<Oid>>> SharedExtent(
-      uint32_t class_id);
+      uint32_t class_id) EXCLUDES(mu_);
 
   /// Attaches a consumer to the shared scan over `class_id`'s extent.
-  Result<SharedScanConsumer> AttachExtent(uint32_t class_id);
+  Result<SharedScanConsumer> AttachExtent(uint32_t class_id)
+      EXCLUDES(mu_);
 
   /// Attaches a consumer to the shared scan over the set produced by
   /// `materialize` (a closed method-scan parameter); `key` identifies
@@ -157,7 +159,7 @@ class SharedScanManager {
   /// once per key, on the first attacher.
   Result<SharedScanConsumer> AttachSource(
       const std::string& key,
-      const std::function<Result<Value>()>& materialize);
+      const std::function<Result<Value>()>& materialize) EXCLUDES(mu_);
 
   /// The batch's cross-query property-column cache.
   PropertyColumnCache* property_cache() { return &cache_; }
@@ -174,14 +176,16 @@ class SharedScanManager {
     SharedScan scan;
   };
 
-  std::shared_ptr<Slot> SlotFor(const std::string& key);
-  Result<Slot*> EnsureExtentSlot(uint32_t class_id);
+  std::shared_ptr<Slot> SlotFor(const std::string& key) EXCLUDES(mu_);
+  Result<Slot*> EnsureExtentSlot(uint32_t class_id) EXCLUDES(mu_);
 
   ObjectStore* store_;
   size_t morsel_size_;
   PropertyColumnCache cache_;
-  std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Slot>> slots_;
+  /// Guards the slot map only; a Slot's contents are published by its
+  /// own once_flag (call_once is the synchronization), not by mu_.
+  Mutex mu_;
+  std::map<std::string, std::shared_ptr<Slot>> slots_ GUARDED_BY(mu_);
   std::atomic<size_t> materialized_{0};
 };
 

@@ -14,7 +14,7 @@ WorkerPool::WorkerPool(size_t parallelism) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -23,10 +23,12 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::RunClaimedTasks() {
   for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
+    UniqueLock lock(mu_);
     if (job_ == nullptr || next_task_ >= total_tasks_) return;
     const size_t index = next_task_++;
     const std::function<void(size_t)>* task = job_;
+    // The claim is bookkeeping; the task itself runs unlocked so lanes
+    // overlap their work (and tasks may block without starving peers).
     lock.unlock();
     (*task)(index);
     lock.lock();
@@ -37,10 +39,8 @@ void WorkerPool::RunClaimedTasks() {
 void WorkerPool::WorkerLoop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] {
-        return stop_ || (job_ != nullptr && next_task_ < total_tasks_);
-      });
+      UniqueLock lock(mu_);
+      while (!HasClaimableTaskOrStop()) work_cv_.wait(lock);
       if (stop_) return;
     }
     RunClaimedTasks();
@@ -54,9 +54,9 @@ void WorkerPool::ParallelRun(size_t n,
     for (size_t i = 0; i < n; ++i) task(i);
     return;
   }
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(run_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &task;
     next_task_ = 0;
     total_tasks_ = n;
@@ -64,8 +64,8 @@ void WorkerPool::ParallelRun(size_t n,
   }
   work_cv_.notify_all();
   RunClaimedTasks();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return done_tasks_ == total_tasks_; });
+  UniqueLock lock(mu_);
+  while (done_tasks_ != total_tasks_) done_cv_.wait(lock);
   job_ = nullptr;
 }
 

@@ -1,14 +1,19 @@
 // Fixed worker pool behind the morsel-driven drivers
-// (docs/ARCHITECTURE.md §"Morsel-driven parallelism").
+// (docs/ARCHITECTURE.md §"Morsel-driven parallelism"). Locking
+// discipline is a compile-time contract: every shared field is
+// GUARDED_BY its mutex and the clang CI legs build with
+// -Werror=thread-safety (docs/ARCHITECTURE.md §"Static analysis &
+// concurrency contracts").
 #ifndef VODAK_EXEC_WORKER_POOL_H_
 #define VODAK_EXEC_WORKER_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace vodak {
 namespace exec {
@@ -53,25 +58,35 @@ class WorkerPool {
 
   /// Runs task(0) .. task(n-1) to completion across the pool and the
   /// calling thread. Tasks must not call ParallelRun on the same pool.
-  void ParallelRun(size_t n, const std::function<void(size_t)>& task);
+  void ParallelRun(size_t n, const std::function<void(size_t)>& task)
+      EXCLUDES(mu_, run_mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   /// Claims and runs tasks of the current job until none remain.
-  void RunClaimedTasks();
+  void RunClaimedTasks() EXCLUDES(mu_);
+  /// The park/wake predicate; reads the job state, so the caller (the
+  /// wait loop) must hold mu_.
+  bool HasClaimableTaskOrStop() const REQUIRES(mu_) {
+    return stop_ || (job_ != nullptr && next_task_ < total_tasks_);
+  }
 
+  /// Immutable after the constructor returns (joined in ~WorkerPool).
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  /// Guards against overlapping ParallelRun calls.
-  std::mutex run_mu_;
-  const std::function<void(size_t)>* job_ = nullptr;  // guarded by mu_
-  size_t next_task_ = 0;                              // guarded by mu_
-  size_t total_tasks_ = 0;                            // guarded by mu_
-  size_t done_tasks_ = 0;                             // guarded by mu_
-  bool stop_ = false;                                 // guarded by mu_
+  /// Guards the per-job dispatch state below. Acquired by every lane
+  /// only for claim/complete bookkeeping — never held across task().
+  Mutex mu_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  /// Serializes whole ParallelRun calls; guards no fields (the job
+  /// state belongs to mu_) but makes overlapping runs impossible.
+  Mutex run_mu_ ACQUIRED_BEFORE(mu_);  // lint: no-guarded-fields(serializes ParallelRun; protects a phase, not fields)
+  const std::function<void(size_t)>* job_ GUARDED_BY(mu_) = nullptr;
+  size_t next_task_ GUARDED_BY(mu_) = 0;
+  size_t total_tasks_ GUARDED_BY(mu_) = 0;
+  size_t done_tasks_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace exec

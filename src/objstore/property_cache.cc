@@ -8,14 +8,14 @@ namespace vodak {
 void PropertyColumnCache::SeedLocals(
     uint32_t class_id,
     std::shared_ptr<const std::vector<uint32_t>> locals) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::shared_ptr<const std::vector<uint32_t>>& entry = seeded_[class_id];
   if (entry == nullptr) entry = std::move(locals);  // first seed wins
 }
 
 std::shared_ptr<PropertyColumnCache::Column> PropertyColumnCache::EntryFor(
     uint32_t class_id, uint32_t slot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::shared_ptr<Column>& entry = columns_[{class_id, slot}];
   if (entry == nullptr) entry = std::make_shared<Column>();
   return entry;
@@ -23,7 +23,7 @@ std::shared_ptr<PropertyColumnCache::Column> PropertyColumnCache::EntryFor(
 
 std::shared_ptr<const std::vector<uint32_t>> PropertyColumnCache::SeededLocals(
     uint32_t class_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = seeded_.find(class_id);
   return it == seeded_.end() ? nullptr : it->second;
 }

@@ -8,8 +8,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "objstore/object_store.h"
 
 namespace vodak {
@@ -48,7 +50,8 @@ class PropertyColumnCache {
   /// already-materialized extent) as eligible for full-column caching.
   /// Only seeded classes are cached; see the class comment.
   void SeedLocals(uint32_t class_id,
-                  std::shared_ptr<const std::vector<uint32_t>> locals);
+                  std::shared_ptr<const std::vector<uint32_t>> locals)
+      EXCLUDES(mu_);
 
   /// Appends the value of `slot` for every local in locals[begin, end)
   /// to `out`, in order — the contract of the range-scoped
@@ -56,7 +59,7 @@ class PropertyColumnCache {
   /// for seeded classes, straight from the store otherwise.
   Status ReadColumn(uint32_t class_id, uint32_t slot,
                     const std::vector<uint32_t>& locals, size_t begin,
-                    size_t end, std::vector<Value>* out);
+                    size_t end, std::vector<Value>* out) EXCLUDES(mu_);
 
   /// Full-column store reads performed (one per distinct (class, slot)
   /// touched).
@@ -82,16 +85,21 @@ class PropertyColumnCache {
     std::vector<char> present;
   };
 
-  std::shared_ptr<Column> EntryFor(uint32_t class_id, uint32_t slot);
+  std::shared_ptr<Column> EntryFor(uint32_t class_id, uint32_t slot)
+      EXCLUDES(mu_);
   /// The seeded locals of `class_id`, or null when the class is not
   /// covered by the shared scan (read-through case).
   std::shared_ptr<const std::vector<uint32_t>> SeededLocals(
-      uint32_t class_id);
+      uint32_t class_id) EXCLUDES(mu_);
 
   ObjectStore* store_;
-  std::mutex mu_;
-  std::map<std::pair<uint32_t, uint32_t>, std::shared_ptr<Column>> columns_;
-  std::map<uint32_t, std::shared_ptr<const std::vector<uint32_t>>> seeded_;
+  /// Guards the entry maps only; a Column's payload is published by
+  /// its own once_flag (call_once is the synchronization), not by mu_.
+  Mutex mu_;
+  std::map<std::pair<uint32_t, uint32_t>, std::shared_ptr<Column>> columns_
+      GUARDED_BY(mu_);
+  std::map<uint32_t, std::shared_ptr<const std::vector<uint32_t>>> seeded_
+      GUARDED_BY(mu_);
   std::atomic<uint64_t> fills_{0};
   std::atomic<uint64_t> hit_rows_{0};
   std::atomic<uint64_t> fallback_rows_{0};

@@ -1,0 +1,51 @@
+// Compile-FAIL fixture proving the thread-safety analysis is armed.
+//
+// This file is deliberately WRONG: it touches GUARDED_BY fields
+// without holding their mutex and leaks a capability out of a
+// function, the exact bug classes -Werror=thread-safety exists to
+// stop. It is excluded from the normal test glob; CMake registers it
+// (clang + VODAK_THREAD_SAFETY only) as a WILL_FAIL build test, so
+// the ctest run goes red if this ever starts *compiling* — which
+// would mean the analysis was silently disarmed (macro set broken,
+// flags dropped, wrapper unannotated) while the annotated tree still
+// built clean.
+//
+// If this test fails (i.e. the file compiled), check:
+//   - thread_annotations.h still expands the attributes under clang
+//   - CMakeLists.txt still passes -Wthread-safety -Werror=thread-safety
+//   - vodak::Mutex / MutexLock still carry CAPABILITY/SCOPED_CAPABILITY
+#include <cstddef>
+
+#include "common/thread_annotations.h"
+
+namespace vodak {
+namespace {
+
+class Account {
+ public:
+  void Deposit(size_t amount) {
+    balance_ += amount;  // BUG: mu_ not held -> -Wthread-safety error
+  }
+
+  size_t Read() const {
+    return balance_;  // BUG: mu_ not held -> -Wthread-safety error
+  }
+
+  void LeakLock() {
+    mu_.lock();  // BUG: never released -> -Wthread-safety error
+  }
+
+ private:
+  mutable Mutex mu_;
+  size_t balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+}  // namespace vodak
+
+int main() {
+  vodak::Account account;
+  account.Deposit(1);
+  account.LeakLock();
+  return static_cast<int>(account.Read());
+}
