@@ -17,7 +17,7 @@ void InvertedTextIndex::Add(Oid owner, std::string_view text) {
 }
 
 std::vector<Oid> InvertedTextIndex::Search(std::string_view query) const {
-  ++search_count_;
+  search_count_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::string> tokens = TokenizeWords(query);
   if (tokens.empty()) return {};
   std::sort(tokens.begin(), tokens.end());
@@ -33,7 +33,8 @@ std::vector<Oid> InvertedTextIndex::Search(std::string_view query) const {
   for (const std::string& token : tokens) {
     auto it = postings_.find(token);
     if (it == postings_.end()) return {};
-    postings_scanned_ += it->second.size();
+    postings_scanned_.fetch_add(it->second.size(),
+                               std::memory_order_relaxed);
     if (first) {
       result = it->second;
       first = false;
@@ -86,14 +87,14 @@ void OrderedAttributeIndex::Insert(const std::string& key, Oid oid) {
 
 std::vector<Oid> OrderedAttributeIndex::Lookup(
     const std::string& key) const {
-  ++lookup_count_;
+  lookup_count_.fetch_add(1, std::memory_order_relaxed);
   auto it = entries_.find(key);
   return it == entries_.end() ? std::vector<Oid>{} : it->second;
 }
 
 std::vector<Oid> OrderedAttributeIndex::LookupRange(
     const std::string& lo, const std::string& hi) const {
-  ++lookup_count_;
+  lookup_count_.fetch_add(1, std::memory_order_relaxed);
   std::vector<Oid> out;
   for (auto it = entries_.lower_bound(lo);
        it != entries_.end() && it->first <= hi; ++it) {

@@ -65,8 +65,8 @@ class InvertedTextIndex {
     return postings_scanned_.load(std::memory_order_relaxed);
   }
   void ResetCounters() {
-    search_count_ = 0;
-    postings_scanned_ = 0;
+    search_count_.store(0, std::memory_order_relaxed);
+    postings_scanned_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -98,7 +98,9 @@ class OrderedAttributeIndex {
   uint64_t lookup_count() const {
     return lookup_count_.load(std::memory_order_relaxed);
   }
-  void ResetCounters() { lookup_count_ = 0; }
+  void ResetCounters() {
+    lookup_count_.store(0, std::memory_order_relaxed);
+  }
 
   /// Number of distinct keys (cost-model statistic).
   uint64_t distinct_keys() const { return entries_.size(); }

@@ -369,12 +369,15 @@ uint64_t MethodRegistry::batch_row_count(const std::string& class_name,
 }
 
 void MethodRegistry::ResetCounters() {
+  // Relaxed, like every bump of these counters: the reset runs while
+  // no query is in flight, and an implicit assignment would pay a
+  // seq_cst fence for ordering nobody reads.
   for (auto& [key, method] : methods_) {
-    method.invocations = 0;
-    method.batch_invocations = 0;
-    method.batch_rows = 0;
+    method.invocations.store(0, std::memory_order_relaxed);
+    method.batch_invocations.store(0, std::memory_order_relaxed);
+    method.batch_rows.store(0, std::memory_order_relaxed);
   }
-  total_invocations_ = 0;
+  total_invocations_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace vodak
