@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verify plus a bench smoke pass (so bench binaries cannot
 # bit-rot silently), with sanitizer modes that run the executor tests
-# under TSan/ASan — races in the morsel-driven worker pool must fail
-# the build, not corrupt results silently.
+# under TSan/ASan/UBSan — races in the morsel-driven worker pool (and
+# UB the optimizer could weaponize) must fail the build, not corrupt
+# results silently — and static-analysis modes: `--lint` runs the
+# repo's own contract lint (scripts/lint.py) plus the clang-format
+# drift check on src/exec/, `--tidy` runs clang-tidy (.clang-tidy)
+# over src/ against the build's compile_commands.json.
+# `--thread-safety` arms clang's Thread Safety Analysis
+# (-Werror=thread-safety over the GUARDED_BY contracts; see
+# docs/ARCHITECTURE.md §"Static analysis & concurrency contracts").
 #
-# Usage: scripts/ci.sh [--skip-bench] [--tsan|--asan]
+# Usage: scripts/ci.sh [--skip-bench] [--tsan|--asan|--ubsan]
+#                      [--lint] [--tidy] [--thread-safety]
 #                      [--build-type=TYPE] [--build-dir=DIR]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,22 +21,96 @@ SKIP_BENCH=0
 SANITIZE=""
 BUILD_TYPE=""
 BUILD_DIR=""
+LINT=0
+TIDY=0
+THREAD_SAFETY=0
 for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
     --tsan) SANITIZE=thread ;;
     --asan) SANITIZE=address ;;
+    --ubsan) SANITIZE=undefined ;;
+    --lint) LINT=1 ;;
+    --tidy) TIDY=1 ;;
+    --thread-safety) THREAD_SAFETY=1 ;;
     --build-type=*) BUILD_TYPE="${arg#*=}" ;;
     --build-dir=*) BUILD_DIR="${arg#*=}" ;;
-    *) echo "usage: scripts/ci.sh [--skip-bench] [--tsan|--asan]" \
+    *) echo "usage: scripts/ci.sh [--skip-bench] [--tsan|--asan|--ubsan]" \
+            "[--lint] [--tidy] [--thread-safety]" \
             "[--build-type=TYPE] [--build-dir=DIR]" >&2; exit 2 ;;
   esac
 done
+
+THREAD_SAFETY_FLAG=""
+if [[ "$THREAD_SAFETY" == "1" ]]; then
+  THREAD_SAFETY_FLAG="-DVODAK_THREAD_SAFETY=ON"
+fi
+
+# ---------------------------------------------------------------- --lint
+# The vodak contract lint plus the format drift check; a pure
+# static pass, so it neither needs nor builds a tree.
+if [[ "$LINT" == "1" ]]; then
+  echo "== lint: scripts/lint.py =="
+  python3 scripts/lint.py
+  echo "== lint: clang-format drift check (src/exec/) =="
+  CLANG_FORMAT="${CLANG_FORMAT:-}"
+  if [[ -z "$CLANG_FORMAT" ]]; then
+    for candidate in clang-format clang-format-2{0,1} clang-format-1{9,8,7,6,5,4}; do
+      if command -v "$candidate" >/dev/null 2>&1; then
+        CLANG_FORMAT="$candidate"
+        break
+      fi
+    done
+  fi
+  if [[ -n "$CLANG_FORMAT" ]]; then
+    "$CLANG_FORMAT" --dry-run -Werror src/exec/*.h src/exec/*.cc
+    echo "lint: src/exec/ is clang-format clean"
+  else
+    # Tolerated locally (the image may lack LLVM tools); the CI lint
+    # job always has clang-format, so drift still cannot land.
+    echo "lint: clang-format not found; skipping the drift check" >&2
+  fi
+fi
+
+# ---------------------------------------------------------------- --tidy
+if [[ "$TIDY" == "1" ]]; then
+  echo "== tidy: clang-tidy over src/ =="
+  CLANG_TIDY="${CLANG_TIDY:-}"
+  if [[ -z "$CLANG_TIDY" ]]; then
+    for candidate in clang-tidy clang-tidy-2{0,1} clang-tidy-1{9,8,7,6,5,4}; do
+      if command -v "$candidate" >/dev/null 2>&1; then
+        CLANG_TIDY="$candidate"
+        break
+      fi
+    done
+  fi
+  if [[ -z "$CLANG_TIDY" ]]; then
+    echo "ci.sh: --tidy needs clang-tidy on PATH (or CLANG_TIDY=...);" \
+         "not found" >&2
+    exit 1
+  fi
+  TIDY_BUILD_DIR="${BUILD_DIR:-build-tidy}"
+  # Any configured tree emits compile_commands.json
+  # (CMAKE_EXPORT_COMPILE_COMMANDS is on unconditionally); building is
+  # not required, but FetchContent'd gtest headers must exist for the
+  # test includes, so configure is.
+  cmake -B "$TIDY_BUILD_DIR" -S . \
+        ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} >/dev/null
+  mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
+  "$CLANG_TIDY" -p "$TIDY_BUILD_DIR" --quiet "${TIDY_SOURCES[@]}"
+  echo "tidy: ${#TIDY_SOURCES[@]} files clean"
+fi
+
+if [[ "$LINT" == "1" || "$TIDY" == "1" ]]; then
+  echo "== ci.sh (static analysis): all green =="
+  exit 0
+fi
 
 if [[ -n "$SANITIZE" ]]; then
   : "${BUILD_DIR:=build-$SANITIZE}"
   echo "== sanitizer ($SANITIZE): configure + build + executor tests =="
   cmake -B "$BUILD_DIR" -S . -DVODAK_SANITIZE="$SANITIZE" \
+        ${THREAD_SAFETY_FLAG:+"$THREAD_SAFETY_FLAG"} \
         ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"}
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
         --target exec_batch_test exec_parallel_test exec_selvec_test \
@@ -83,10 +165,18 @@ if ! grep -q "BENCH_shared_scan.json" docs/BENCHMARKS.md; then
   echo "ci.sh: docs/BENCHMARKS.md does not document BENCH_shared_scan.json" >&2
   exit 1
 fi
+# The static-analysis chapter (annotation conventions, the vodak lint's
+# contracts, how to run --tidy/--lint/--ubsan locally).
+if ! grep -q "^## Static analysis & concurrency contracts" docs/ARCHITECTURE.md; then
+  echo "ci.sh: docs/ARCHITECTURE.md lost the 'Static analysis &" \
+       "concurrency contracts' chapter" >&2
+  exit 1
+fi
 
 : "${BUILD_DIR:=build}"
 echo "== tier-1: configure + build + ctest =="
 cmake -B "$BUILD_DIR" -S . \
+      ${THREAD_SAFETY_FLAG:+"$THREAD_SAFETY_FLAG"} \
       ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"}
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
