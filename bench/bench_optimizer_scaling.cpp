@@ -65,7 +65,8 @@ void BM_OptimizeTime_vs_Joins(benchmark::State& state) {
   for (auto _ : state) {
     // Plan only: executing a 3-way self-join would swamp the signal.
     auto result = scenario.session->Run(
-        query, {/*optimize=*/true, /*trace=*/false, /*execute=*/false});
+        query, {/*optimize=*/true, /*trace=*/false},
+        {/*execute=*/false});
     VODAK_CHECK(result.ok()) << result.status().ToString();
     exprs = result.value().memo_exprs;
     benchmark::DoNotOptimize(result.value().chosen_cost);

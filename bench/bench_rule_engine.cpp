@@ -79,7 +79,8 @@ void BM_SingleEquivalenceRewrite(benchmark::State& state) {
       "(p->document()).title == 'Query Optimization'";
   for (auto _ : state) {
     auto result = scenario.session->Run(
-        query, {/*optimize=*/true, /*trace=*/false, /*execute=*/false});
+        query, {/*optimize=*/true, /*trace=*/false},
+        {/*execute=*/false});
     VODAK_CHECK(result.ok());
     benchmark::DoNotOptimize(result.value().chosen_cost);
   }

@@ -10,9 +10,12 @@
 # `--thread-safety` arms clang's Thread Safety Analysis
 # (-Werror=thread-safety over the GUARDED_BY contracts; see
 # docs/ARCHITECTURE.md §"Static analysis & concurrency contracts").
+# `--service` runs the query-service load-harness smoke (K closed-loop
+# socket clients vs the row-mode oracle) and gates BENCH_service.json
+# on its admission counters.
 #
 # Usage: scripts/ci.sh [--skip-bench] [--tsan|--asan|--ubsan]
-#                      [--lint] [--tidy] [--thread-safety]
+#                      [--lint] [--tidy] [--thread-safety] [--service]
 #                      [--build-type=TYPE] [--build-dir=DIR]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,6 +27,7 @@ BUILD_DIR=""
 LINT=0
 TIDY=0
 THREAD_SAFETY=0
+SERVICE=0
 for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
@@ -33,10 +37,11 @@ for arg in "$@"; do
     --lint) LINT=1 ;;
     --tidy) TIDY=1 ;;
     --thread-safety) THREAD_SAFETY=1 ;;
+    --service) SERVICE=1 ;;
     --build-type=*) BUILD_TYPE="${arg#*=}" ;;
     --build-dir=*) BUILD_DIR="${arg#*=}" ;;
     *) echo "usage: scripts/ci.sh [--skip-bench] [--tsan|--asan|--ubsan]" \
-            "[--lint] [--tidy] [--thread-safety]" \
+            "[--lint] [--tidy] [--thread-safety] [--service]" \
             "[--build-type=TYPE] [--build-dir=DIR]" >&2; exit 2 ;;
   esac
 done
@@ -114,10 +119,51 @@ if [[ -n "$SANITIZE" ]]; then
         ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"}
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
         --target exec_batch_test exec_parallel_test exec_selvec_test \
-                 exec_shared_scan_test
+                 exec_shared_scan_test engine_submit_test service_test
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-        -R 'exec_batch_test|exec_parallel_test|exec_selvec_test|exec_shared_scan_test'
+        -R 'exec_batch_test|exec_parallel_test|exec_selvec_test|exec_shared_scan_test|engine_submit_test|service_test'
   echo "== ci.sh ($SANITIZE): all green =="
+  exit 0
+fi
+
+# -------------------------------------------------------------- --service
+# The query-service load harness as a standalone gate: build only
+# bench_service, run K closed-loop socket clients against an in-process
+# service (every reply is checked against the row-mode oracle's digest
+# inside the harness), then gate the admission counters: arrivals must
+# actually group into generations, and the shared generations must pay
+# strictly fewer extent passes than the private baseline.
+if [[ "$SERVICE" == "1" ]]; then
+  : "${BUILD_DIR:=build}"
+  echo "== service: build + load-harness smoke =="
+  cmake -B "$BUILD_DIR" -S . \
+        ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} >/dev/null
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_service
+  "$BUILD_DIR"/bench_service --docs=200 --clients=8 --requests=25 \
+                             --json=BENCH_service.json
+  service_field() { sed -n "s/^ *\"$1\": \([0-9][0-9]*\).*/\1/p" BENCH_service.json; }
+  SVC_QUERIES="$(service_field queries_shared)"
+  SVC_GENERATIONS="$(service_field generations_shared)"
+  SVC_EXT_SHARED="$(service_field extent_scans_shared)"
+  SVC_EXT_PRIVATE="$(service_field extent_scans_private)"
+  if [[ -z "$SVC_QUERIES" || -z "$SVC_GENERATIONS" || \
+        -z "$SVC_EXT_SHARED" || -z "$SVC_EXT_PRIVATE" ]]; then
+    echo "ci.sh: BENCH_service.json is missing counter fields" >&2
+    exit 1
+  fi
+  if (( SVC_GENERATIONS >= SVC_QUERIES )); then
+    echo "ci.sh: service formed $SVC_GENERATIONS generations for" \
+         "$SVC_QUERIES queries -- arrivals are not being grouped" >&2
+    exit 1
+  fi
+  if (( SVC_EXT_SHARED >= SVC_EXT_PRIVATE )); then
+    echo "ci.sh: shared generations paid $SVC_EXT_SHARED extent passes," \
+         "not fewer than the private baseline's $SVC_EXT_PRIVATE" >&2
+    exit 1
+  fi
+  echo "service gate: $SVC_QUERIES queries in $SVC_GENERATIONS" \
+       "generations, $SVC_EXT_SHARED vs $SVC_EXT_PRIVATE extent passes -- ok"
+  echo "== ci.sh (service): all green =="
   exit 0
 fi
 
@@ -170,6 +216,18 @@ fi
 if ! grep -q "^## Static analysis & concurrency contracts" docs/ARCHITECTURE.md; then
   echo "ci.sh: docs/ARCHITECTURE.md lost the 'Static analysis &" \
        "concurrency contracts' chapter" >&2
+  exit 1
+fi
+# The query-service chapter (wire protocol, generation state machine,
+# cancellation points, the Run→Submit migration table) and the
+# load-harness record documentation.
+if ! grep -q "^## Query service & admission control" docs/ARCHITECTURE.md; then
+  echo "ci.sh: docs/ARCHITECTURE.md lost the 'Query service & admission" \
+       "control' chapter" >&2
+  exit 1
+fi
+if ! grep -q "BENCH_service.json" docs/BENCHMARKS.md; then
+  echo "ci.sh: docs/BENCHMARKS.md does not document BENCH_service.json" >&2
   exit 1
 fi
 
@@ -269,6 +327,8 @@ SMOKE_FILTER='(/(1|2|10|20|50)$|^[^/]+$)'
 for bench in "${BENCHES[@]}"; do
   [[ "$(basename "$bench")" == "bench_batch_exec" ]] && continue
   [[ "$(basename "$bench")" == "bench_shared_scan" ]] && continue
+  # bench_service has its own flags and gate (ci.sh --service).
+  [[ "$(basename "$bench")" == "bench_service" ]] && continue
   echo "-- $bench"
   "$bench" --benchmark_filter="$SMOKE_FILTER" --benchmark_min_time=0.01
 done

@@ -22,8 +22,10 @@ contracts"):
    written-down decision. `// lint: not-atomic` waives a line whose
    .load()/.store() call is not an atomic.
 
-3. operator-contracts — every PhysOperator/BatchSource subclass in
-   src/exec/physical.{h,cc} has a row in ARCHITECTURE.md's operator
+3. operator-contracts — every PhysOperator/BatchSource subclass
+   anywhere in src/ (today they all live in src/exec/physical.{h,cc},
+   but a subclass added elsewhere — e.g. under src/service/ — is held
+   to the same bar) has a row in ARCHITECTURE.md's operator
    density-contract table (the table is how density bugs are reviewed;
    an operator missing from it has no reviewed contract).
 
@@ -249,8 +251,9 @@ def check_operator_contracts():
     subclass_re = re.compile(
         r"class\s+(\w+)\s*(?:final\s*)?:\s*public\s+"
         r"(PhysOperator|BatchSource)\b")
-    for name in ("physical.h", "physical.cc"):
-        path = os.path.join(SRC, "exec", name)
+    # All of src/, not just physical.{h,cc}: src/service/ (or any other
+    # subsystem) adding an operator is held to the same contract.
+    for path in src_files():
         text = read(path)
         code = strip_comments(text)
         for m in subclass_re.finditer(code):

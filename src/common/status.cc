@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -20,6 +20,8 @@ enum class StatusCode {
   kExecError,
   kUnsupported,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Return-value based error propagation. All fallible public APIs return a
@@ -61,6 +63,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -44,7 +44,7 @@ Result<vql::BoundQuery> Database::Parse(const std::string& vql) const {
 }
 
 Result<QueryResult> Database::PlanQuery(const std::string& vql,
-                                        const ExecOptions& options,
+                                        const PlanOptions& options,
                                         vql::BoundQuery* bound_out) {
   VODAK_ASSIGN_OR_RETURN(vql::BoundQuery bound, Parse(vql));
 
@@ -84,79 +84,113 @@ Result<QueryResult> Database::PlanQuery(const std::string& vql,
   return out;
 }
 
-Result<QueryResult> Database::Run(const std::string& vql,
-                                  const ExecOptions& options) {
+Result<PreparedQuery> Database::Prepare(const std::string& vql,
+                                        const PlanOptions& options) {
   vql::BoundQuery bound;
-  VODAK_ASSIGN_OR_RETURN(QueryResult out,
+  PreparedQuery prepared;
+  VODAK_ASSIGN_OR_RETURN(prepared.planned,
                          PlanQuery(vql, options, &bound));
+  prepared.result_ref = algebra::ResultRef(bound);
+  return prepared;
+}
 
-  if (!options.execute) {
-    out.result = Value::Set({});
-    return out;
-  }
+Status Database::ExecuteSingle(const QueryRequest& request,
+                               const std::string& result_ref,
+                               QueryResult* result, QueryStats* stats) {
   exec::ExecContext exec_ctx{catalog_, store_, methods_};
-  VODAK_ASSIGN_OR_RETURN(exec::PhysOpPtr root,
-                         exec::BuildPhysical(out.chosen_plan, exec_ctx));
-  out.physical_explain = exec::ExplainPhysical(*root);
-  const size_t threads = exec::ResolveThreads(options.threads);
+  exec_ctx.cancel = request.cancel;
+  exec_ctx.deadline = request.deadline;
+  VODAK_ASSIGN_OR_RETURN(
+      exec::PhysOpPtr root,
+      exec::BuildPhysical(result->chosen_plan, exec_ctx));
+  result->physical_explain = exec::ExplainPhysical(*root);
+  const size_t threads = exec::ResolveThreads(request.run.threads);
   auto start = std::chrono::steady_clock::now();
   exec::ParallelPlanStatePtr pstate;
-  if (options.batch && threads > 1) {
+  if (request.run.batch && threads > 1) {
     // Probe for a parallelizable driving scan up front, so plans with
     // none (set ops on the driving path) reuse the already-built
     // serial tree instead of paying a second plan build in the driver.
     VODAK_ASSIGN_OR_RETURN(
-        pstate, exec::PrepareParallelPlan(out.chosen_plan, exec_ctx,
-                                          threads, options.morsel_size));
+        pstate,
+        exec::PrepareParallelPlan(result->chosen_plan, exec_ctx, threads,
+                                  request.run.morsel_size));
   }
   if (pstate != nullptr) {
     exec::ParallelOptions popts;
     popts.threads = threads;
-    popts.morsel_size = options.morsel_size;
+    popts.morsel_size = request.run.morsel_size;
     popts.pool = EnsurePool(threads);
     // The serial tree above is only the EXPLAIN skeleton; mark that
     // execution actually ran worker clones over shared morsels.
-    out.physical_explain +=
+    result->physical_explain +=
         "[parallel: threads=" + std::to_string(threads) +
         ", morsel<=" + std::to_string(popts.morsel_size) +
         "; driving scan executed as per-worker MorselScan clones]\n";
     VODAK_ASSIGN_OR_RETURN(
-        out.result,
-        exec::ParallelExecuteColumn(out.chosen_plan, exec_ctx,
-                                    algebra::ResultRef(bound), popts,
+        result->result,
+        exec::ParallelExecuteColumn(result->chosen_plan, exec_ctx,
+                                    result_ref, popts,
                                     std::move(pstate)));
   } else {
     VODAK_ASSIGN_OR_RETURN(
-        out.result,
-        exec::ExecuteColumn(root.get(), algebra::ResultRef(bound),
-                            options.batch ? exec::ExecMode::kBatch
-                                          : exec::ExecMode::kRow));
+        result->result,
+        exec::ExecuteColumn(root.get(), result_ref,
+                            request.run.batch ? exec::ExecMode::kBatch
+                                              : exec::ExecMode::kRow));
   }
-  out.execute_ms = MsSince(start);
-  return out;
+  stats->drain_ms = MsSince(start);
+  result->execute_ms = stats->drain_ms;
+  return Status::OK();
 }
 
-Result<std::vector<QueryResult>> Database::RunConcurrent(
-    const std::vector<std::string>& queries, const ExecOptions& options) {
-  std::vector<QueryResult> out;
-  if (queries.empty()) return out;  // nothing to plan, no pool to spawn
-  // Planning stays serial (the optimizer module is not built for
-  // concurrent Optimize calls); the drains below overlap.
-  out.reserve(queries.size());
+std::vector<QueryOutcome> Database::Submit(
+    const std::vector<QueryRequest>& requests,
+    const SubmitOptions& options) {
+  std::vector<QueryOutcome> out(requests.size());
+  // Plan serially (the optimizer module is not built for concurrent
+  // Optimize calls); the drains below overlap. A request that is
+  // already cancelled or expired is rejected here, before planning.
+  std::vector<size_t> runnable;
   std::vector<exec::ConcurrentQuery> plans;
-  plans.reserve(queries.size());
-  for (const std::string& vql : queries) {
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const QueryRequest& request = requests[i];
+    QueryOutcome& o = out[i];
+    o.status = exec::CheckQueryAlive(request.cancel, request.deadline);
+    if (!o.status.ok()) continue;
+    auto plan_start = std::chrono::steady_clock::now();
     vql::BoundQuery bound;
-    VODAK_ASSIGN_OR_RETURN(QueryResult planned,
-                           PlanQuery(vql, options, &bound));
+    Result<QueryResult> planned = PlanQuery(request.vql, request.plan,
+                                            &bound);
+    o.stats.plan_ms = MsSince(plan_start);
+    if (!planned.ok()) {
+      o.status = planned.status();
+      continue;
+    }
+    o.result = std::move(planned).value();
+    if (!request.run.execute) {
+      o.result.result = Value::Set({});
+      continue;
+    }
     exec::ConcurrentQuery query;
-    query.plan = planned.chosen_plan;
+    query.plan = o.result.chosen_plan;
     query.result_ref = algebra::ResultRef(bound);
+    query.cancel = request.cancel;
+    query.deadline = request.deadline;
+    query.batch = request.run.batch;
+    runnable.push_back(i);
     plans.push_back(std::move(query));
-    out.push_back(std::move(planned));
   }
-  if (!options.execute) {
-    for (QueryResult& result : out) result.result = Value::Set({});
+  if (runnable.empty()) return out;
+
+  if (runnable.size() == 1) {
+    // A lone query gets the intra-query morsel-parallel path: its
+    // RunOptions::threads splits the one plan over morsels instead of
+    // the batch lanes splitting queries.
+    QueryOutcome& o = out[runnable[0]];
+    o.stats.generation_id = NextGenerationId();
+    o.status = ExecuteSingle(requests[runnable[0]], plans[0].result_ref,
+                             &o.result, &o.stats);
     return out;
   }
 
@@ -166,29 +200,75 @@ Result<std::vector<QueryResult>> Database::RunConcurrent(
   // actually executed. The workers rebuild their own (shared-leaf)
   // trees — these skeletons are plan construction only, no Open, and
   // operator trees are a handful of nodes.
-  for (size_t i = 0; i < out.size(); ++i) {
-    VODAK_ASSIGN_OR_RETURN(exec::PhysOpPtr root,
-                           exec::BuildPhysical(plans[i].plan, exec_ctx));
-    out[i].physical_explain = exec::ExplainPhysical(*root);
+  for (size_t i = 0; i < runnable.size(); ++i) {
+    Result<exec::PhysOpPtr> root =
+        exec::BuildPhysical(plans[i].plan, exec_ctx);
+    if (root.ok()) {
+      out[runnable[i]].result.physical_explain =
+          exec::ExplainPhysical(*root.value());
+    }
   }
   exec::ConcurrentOptions copts;
-  copts.threads = exec::ResolveThreads(options.threads);
+  copts.threads = exec::ResolveThreads(options.lanes);
   copts.morsel_size = options.morsel_size;
   copts.shared_scan = options.shared_scan;
-  copts.batch = options.batch;
-  copts.pool = EnsurePoolExact(std::min(copts.threads, queries.size()));
-  auto start = std::chrono::steady_clock::now();
-  VODAK_ASSIGN_OR_RETURN(
-      std::vector<Value> results,
-      exec::ExecuteConcurrentColumns(plans, exec_ctx, copts));
-  const double batch_ms = MsSince(start);
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i].result = std::move(results[i]);
-    out[i].execute_ms = batch_ms;  // the drains overlap: batch time
-    out[i].physical_explain +=
-        "[concurrent batch of " + std::to_string(queries.size()) +
+  copts.pool = EnsurePoolExact(std::min(copts.threads, plans.size()));
+  const uint64_t generation = NextGenerationId();
+  Result<std::vector<exec::ConcurrentQueryOutcome>> outcomes =
+      exec::ExecuteConcurrentOutcomes(plans, exec_ctx, copts);
+  if (!outcomes.ok()) {
+    for (size_t i : runnable) out[i].status = outcomes.status();
+    return out;
+  }
+  for (size_t i = 0; i < runnable.size(); ++i) {
+    QueryOutcome& o = out[runnable[i]];
+    exec::ConcurrentQueryOutcome& oc = outcomes.value()[i];
+    o.status = oc.status;
+    o.result.result = std::move(oc.value);
+    o.stats.queue_ms = oc.queue_ms;
+    o.stats.drain_ms = oc.drain_ms;
+    o.stats.generation_id = generation;
+    // The honest per-query number: this drain, not the batch's.
+    o.result.execute_ms = oc.drain_ms;
+    o.result.physical_explain +=
+        "[concurrent batch of " + std::to_string(plans.size()) +
         (options.shared_scan ? ": scan leaves attached to shared scans]\n"
                              : ": private-scan baseline]\n");
+  }
+  return out;
+}
+
+Result<QueryResult> Database::Run(const std::string& vql,
+                                  const PlanOptions& plan,
+                                  const RunOptions& run) {
+  QueryRequest request;
+  request.vql = vql;
+  request.plan = plan;
+  request.run = run;
+  std::vector<QueryOutcome> outcomes = Submit({request});
+  VODAK_RETURN_IF_ERROR(outcomes[0].status);
+  return std::move(outcomes[0].result);
+}
+
+Result<std::vector<QueryResult>> Database::RunConcurrent(
+    const std::vector<std::string>& queries, const SubmitOptions& options,
+    const PlanOptions& plan, const RunOptions& run) {
+  std::vector<QueryResult> out;
+  if (queries.empty()) return out;  // nothing to plan, no pool to spawn
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const std::string& vql : queries) {
+    QueryRequest request;
+    request.vql = vql;
+    request.plan = plan;
+    request.run = run;
+    requests.push_back(std::move(request));
+  }
+  std::vector<QueryOutcome> outcomes = Submit(requests, options);
+  out.reserve(outcomes.size());
+  for (QueryOutcome& outcome : outcomes) {
+    VODAK_RETURN_IF_ERROR(outcome.status);
+    out.push_back(std::move(outcome.result));
   }
   return out;
 }
@@ -232,8 +312,9 @@ Result<std::vector<Value>> Database::RunNaiveConcurrent(
 }
 
 Result<std::string> Database::Explain(const std::string& vql,
-                                      const ExecOptions& options) {
-  VODAK_ASSIGN_OR_RETURN(QueryResult result, Run(vql, options));
+                                      const PlanOptions& plan,
+                                      const RunOptions& run) {
+  VODAK_ASSIGN_OR_RETURN(QueryResult result, Run(vql, plan, run));
   std::string out;
   out += "== VQL ==\n" + vql + "\n";
   out += "== algebra (translated, cost " +

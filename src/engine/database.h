@@ -1,9 +1,11 @@
 #ifndef VODAK_ENGINE_DATABASE_H_
 #define VODAK_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
+#include "engine/query_api.h"
 #include "exec/parallel.h"
 #include "exec/physical.h"
 #include "exec/worker_pool.h"
@@ -12,56 +14,6 @@
 
 namespace vodak {
 namespace engine {
-
-struct ExecOptions {
-  /// Run the generated optimizer; false executes the plain §4.1
-  /// translation (the ablation baseline).
-  bool optimize = true;
-  /// Record the rule-application storyboard (the §7 demonstrator).
-  bool trace = false;
-  /// Execute the chosen plan; false stops after planning (used by
-  /// optimizer-scaling benchmarks where execution would dominate).
-  bool execute = true;
-  /// Drive the physical plan batch-at-a-time (the vectorized pipeline);
-  /// false falls back to the row-at-a-time Volcano path.
-  bool batch = true;
-  /// Worker threads for morsel-driven parallel execution. 1 keeps the
-  /// serial pipeline (the degenerate case), 0 resolves to the hardware
-  /// concurrency, >1 drains the plan through per-worker operator chains
-  /// over shared extent morsels (requires batch=true; ignored in row
-  /// mode, which exists as the independent oracle). For RunConcurrent
-  /// the same knob sizes the lanes the *query batch* drains on.
-  size_t threads = 1;
-  /// Upper bound on rows per morsel in the parallel path (and the
-  /// shared scans' fan-out ring in RunConcurrent).
-  size_t morsel_size = exec::kDefaultMorselSize;
-  /// RunConcurrent only: attach the batch's scan leaves to shared
-  /// scans (one extent pass and one property-column read per source
-  /// for all K queries). False runs the same queries with private
-  /// cursors — the measurable K-independent-queries baseline.
-  bool shared_scan = true;
-};
-
-/// Everything one query execution produced.
-struct QueryResult {
-  /// The result value set (ACCESS-expression values).
-  Value result;
-  /// Plans before/after optimization and their estimated costs.
-  algebra::LogicalRef original_plan;
-  algebra::LogicalRef chosen_plan;
-  double original_cost = 0.0;
-  double chosen_cost = 0.0;
-  /// Optimizer statistics (zeroed when optimize=false).
-  size_t memo_groups = 0;
-  size_t memo_exprs = 0;
-  size_t rule_applications = 0;
-  std::vector<opt::TraceEntry> trace;
-  /// Wall-clock milliseconds.
-  double optimize_ms = 0.0;
-  double execute_ms = 0.0;
-  /// Physical plan rendering.
-  std::string physical_explain;
-};
 
 /// The public face of the system: a VODAK-style database session over a
 /// schema (catalog), a store, a method registry and a knowledge base,
@@ -94,24 +46,45 @@ class Database {
 
   bool HasOptimizer() const { return module_.optimizer != nullptr; }
 
-  /// Parses, binds, (optionally) optimizes and executes a VQL query.
-  Result<QueryResult> Run(const std::string& vql,
-                          const ExecOptions& options = {});
+  /// The one execution entry point everything else shims over: submits
+  /// a batch of queries that plan serially (parse / bind / optimize —
+  /// the optimizer module is not built for concurrent Optimize calls)
+  /// and drain concurrently on the session pool, one lane per query up
+  /// to `options.lanes`, with their scan leaves attached to one
+  /// SharedScanManager per batch — K queries over the same extent pay
+  /// ~1 scan pass and ~1 property-column read per source instead of K
+  /// (options.shared_scan = false keeps the private-scan baseline).
+  /// outcomes[i] belongs to requests[i]; a member that fails to plan,
+  /// is cancelled, or misses its deadline reports that in its own
+  /// outcome.status without failing its siblings. A single-request
+  /// batch takes the intra-query morsel-parallel path under its
+  /// RunOptions::threads knob instead of the inter-query lanes.
+  std::vector<QueryOutcome> Submit(const std::vector<QueryRequest>& requests,
+                                   const SubmitOptions& options = {});
 
-  /// The concurrent-session entry point: submits a batch of queries
-  /// that execute together over shared scans. Each query is planned
-  /// exactly like Run would plan it (parse / bind / optimize,
-  /// serially), then all plans drain concurrently on the session pool
-  /// — one lane per query up to `options.threads` — with their scan
-  /// leaves attached to one SharedScanManager, so K queries over the
-  /// same extent pay ~1 scan pass and ~1 property-column read per
-  /// source instead of K (options.shared_scan = false keeps the
-  /// private-scan baseline). results[i] belongs to queries[i];
-  /// per-query execute_ms reports the whole batch's drain time, since
-  /// the drains overlap.
+  /// The planning half of Submit as a public step: parse / bind /
+  /// (optionally) optimize, no execution. The query service plans on
+  /// its event thread through this and hands the PreparedQuery to a
+  /// shared-scan generation drain.
+  Result<PreparedQuery> Prepare(const std::string& vql,
+                                const PlanOptions& options = {});
+
+  /// Parses, binds, (optionally) optimizes and executes one VQL query:
+  /// a thin shim over Submit. The two-options split keeps the old
+  /// `Run(vql, {/*optimize=*/false})` call shape working (those braces
+  /// now initialize PlanOptions).
+  Result<QueryResult> Run(const std::string& vql,
+                          const PlanOptions& plan = {},
+                          const RunOptions& run = {});
+
+  /// Concurrent-batch shim over Submit with the all-or-nothing
+  /// contract (first failing member fails the call) kept for callers
+  /// without per-query error handling. results[i] belongs to
+  /// queries[i]; execute_ms is each query's own drain time.
   Result<std::vector<QueryResult>> RunConcurrent(
       const std::vector<std::string>& queries,
-      const ExecOptions& options = {});
+      const SubmitOptions& options = {}, const PlanOptions& plan = {},
+      const RunOptions& run = {});
 
   /// Ground-truth evaluation through the naive interpreter (S9); used by
   /// the correctness property tests and as the paper's "straightforward
@@ -131,9 +104,10 @@ class Database {
       vql::Interpreter::Options options = {}) const;
 
   /// Human-readable optimization report: original plan, chosen plan,
-  /// costs, and with `options.trace` the full rewrite storyboard.
+  /// costs, and with `plan.trace` the full rewrite storyboard.
   Result<std::string> Explain(const std::string& vql,
-                              const ExecOptions& options = {});
+                              const PlanOptions& plan = {},
+                              const RunOptions& run = {});
 
   const Catalog* catalog() const { return catalog_; }
   ObjectStore* store() const { return store_; }
@@ -144,14 +118,25 @@ class Database {
   /// repeated parallel Runs don't pay thread spawn latency.
   exec::WorkerPool* EnsurePool(size_t threads);
 
+  /// The next shared-scan generation id; Submit takes one per executed
+  /// batch and the query service takes one per generation it forms.
+  uint64_t NextGenerationId() {
+    return next_generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
  private:
   Result<vql::BoundQuery> Parse(const std::string& vql) const;
-  /// The planning half of Run (parse / bind / optimize / EXPLAIN),
-  /// shared with RunConcurrent: fills everything in QueryResult except
-  /// the executed result and its timing.
+  /// The planning half of Submit (parse / bind / optimize): fills
+  /// everything in QueryResult except the executed result and its
+  /// timing.
   Result<QueryResult> PlanQuery(const std::string& vql,
-                                const ExecOptions& options,
+                                const PlanOptions& options,
                                 vql::BoundQuery* bound_out);
+  /// The single-query execution path: morsel-driven intra-query
+  /// parallelism under run.threads, honoring cancel/deadline.
+  Status ExecuteSingle(const QueryRequest& request,
+                       const std::string& result_ref, QueryResult* result,
+                       QueryStats* stats);
   /// EnsurePool, but exact: ExecuteConcurrentColumns refuses a
   /// mis-sized pool (the threads knob, not the pool, sizes a batch),
   /// so the session pool is rebuilt at exactly `threads` lanes when it
@@ -167,6 +152,11 @@ class Database {
   semantics::GeneratedOptimizer module_;
   opt::OptimizerOptions options_;
   std::unique_ptr<exec::WorkerPool> pool_;
+  /// Generation ids handed out to Submit batches and the query
+  /// service's scheduler; monotone across the session so per-query
+  /// stats from either path never collide. Relaxed: an id only needs
+  /// uniqueness, it orders nothing.
+  std::atomic<uint64_t> next_generation_{0};
 };
 
 }  // namespace engine

@@ -1,6 +1,7 @@
 #include "exec/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <unordered_set>
 #include <utility>
@@ -61,6 +62,11 @@ Status DrainWorker(const algebra::LogicalRef& plan, const ExecContext& ctx,
   RowBatch batch;
   Row row;
   for (;;) {
+    // Cancellation point of the morsel loop; the leaf's own ScanOp
+    // check covers plans whose driving scan is deep under joins, this
+    // one bounds the latency of the common flat drive to one morsel
+    // batch even when upper operators buffer.
+    VODAK_RETURN_IF_ERROR(CheckQueryAlive(ctx.cancel, ctx.deadline));
     VODAK_ASSIGN_OR_RETURN(bool more, root->NextBatch(&batch));
     if (!more) break;
     // Same density boundary as the serial drain: the morsel hand-off
@@ -138,11 +144,11 @@ Result<std::vector<Row>> ParallelDrainRows(const algebra::LogicalRef& plan,
   return merged;
 }
 
-Result<std::vector<Value>> ExecuteConcurrentColumns(
+Result<std::vector<ConcurrentQueryOutcome>> ExecuteConcurrentOutcomes(
     const std::vector<ConcurrentQuery>& queries, const ExecContext& ctx,
     const ConcurrentOptions& options) {
-  std::vector<Value> results(queries.size());
-  if (queries.empty()) return results;
+  std::vector<ConcurrentQueryOutcome> out(queries.size());
+  if (queries.empty()) return out;
 
   // One manager per batch: its shared scans and property-column cache
   // live exactly as long as the queries that attach to them.
@@ -153,17 +159,35 @@ Result<std::vector<Value>> ExecuteConcurrentColumns(
     query_ctx.property_cache = manager.property_cache();
   }
 
-  std::vector<Status> statuses(queries.size(), Status::OK());
+  const auto submitted = std::chrono::steady_clock::now();
+  auto ms_since = [](std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
   auto task = [&](size_t q) {
-    statuses[q] = [&]() -> Status {
+    ConcurrentQueryOutcome& o = out[q];
+    o.queue_ms = ms_since(submitted);
+    const auto drain_start = std::chrono::steady_clock::now();
+    o.status = [&]() -> Status {
+      ExecContext member_ctx = query_ctx;
+      member_ctx.cancel = queries[q].cancel;
+      member_ctx.deadline = queries[q].deadline;
+      // A query cancelled or expired while waiting for a lane never
+      // opens: it must not attach (and so never claims ring morsels it
+      // would abandon), and its siblings drain on unaffected.
+      VODAK_RETURN_IF_ERROR(
+          CheckQueryAlive(member_ctx.cancel, member_ctx.deadline));
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr root,
-                             BuildPhysical(queries[q].plan, query_ctx));
+                             BuildPhysical(queries[q].plan, member_ctx));
       VODAK_ASSIGN_OR_RETURN(
-          results[q],
+          o.value,
           ExecuteColumn(root.get(), queries[q].result_ref,
-                        options.batch ? ExecMode::kBatch : ExecMode::kRow));
+                        queries[q].batch ? ExecMode::kBatch
+                                         : ExecMode::kRow));
       return Status::OK();
     }();
+    o.drain_ms = ms_since(drain_start);
   };
   // options.threads sizes the concurrent drains even when a reusable
   // pool is supplied: a session pool warmed wider by an earlier query
@@ -178,8 +202,18 @@ Result<std::vector<Value>> ExecuteConcurrentColumns(
     WorkerPool ephemeral(lanes);
     ephemeral.ParallelRun(queries.size(), task);
   }
-  for (const Status& status : statuses) {
-    VODAK_RETURN_IF_ERROR(status);
+  return out;
+}
+
+Result<std::vector<Value>> ExecuteConcurrentColumns(
+    const std::vector<ConcurrentQuery>& queries, const ExecContext& ctx,
+    const ConcurrentOptions& options) {
+  VODAK_ASSIGN_OR_RETURN(std::vector<ConcurrentQueryOutcome> outcomes,
+                         ExecuteConcurrentOutcomes(queries, ctx, options));
+  std::vector<Value> results(outcomes.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    VODAK_RETURN_IF_ERROR(outcomes[i].status);
+    results[i] = std::move(outcomes[i].value);
   }
   return results;
 }

@@ -62,10 +62,20 @@ Result<Value> ParallelExecuteColumn(const algebra::LogicalRef& plan,
                                     ParallelPlanStatePtr prepared = nullptr);
 
 /// One query of a concurrent batch: its plan plus the reference whose
-/// column is the query result (algebra::ResultRef of the bound query).
+/// column is the query result (algebra::ResultRef of the bound query),
+/// and the per-query execution knobs — cancellation, deadline, drain
+/// mode — that used to leak into the batch-level options.
 struct ConcurrentQuery {
   algebra::LogicalRef plan;
   std::string result_ref;
+  /// This query's cancel flag (null: not cancellable) and deadline;
+  /// checked before the drain opens and at every scan-leaf batch.
+  const CancellationToken* cancel = nullptr;
+  Deadline deadline;
+  /// Drain this query batch-at-a-time (the vectorized pipeline); false
+  /// drains row-at-a-time — the same oracle knob as
+  /// engine::RunOptions::batch, honored per query.
+  bool batch = true;
 };
 
 /// Knobs for the shared-scan multi-query driver.
@@ -81,10 +91,6 @@ struct ConcurrentOptions {
   /// whole batch); false runs the same queries with private cursors —
   /// the measurable K-independent-queries baseline.
   bool shared_scan = true;
-  /// Drain each query batch-at-a-time (the vectorized pipeline);
-  /// false drains row-at-a-time — the same oracle knob as
-  /// engine::ExecOptions::batch, honored per query.
-  bool batch = true;
   /// Reusable pool; when null — or when the supplied pool's
   /// parallelism differs from the resolved lane count, so the knob
   /// rather than the pool sizes the batch — an ephemeral pool is spun
@@ -92,14 +98,41 @@ struct ConcurrentOptions {
   WorkerPool* pool = nullptr;
 };
 
+/// What one query of a concurrent batch came back with. `status` is
+/// per query: a cancelled or expired member reports kCancelled /
+/// kDeadlineExceeded here without failing its siblings (a partial
+/// ring walk releases nothing the others depend on — the shared scan's
+/// exactly-once is per consumer).
+struct ConcurrentQueryOutcome {
+  Status status;
+  /// The result value set; meaningful only when status.ok().
+  Value value;
+  /// Time from batch submission until a lane picked the query up, and
+  /// the query's own drain time — the honest per-query split of the
+  /// batch's wall clock (execute_ms used to report the whole batch's
+  /// drain for every member).
+  double queue_ms = 0.0;
+  double drain_ms = 0.0;
+};
+
 /// The shared-scan multi-query driver: runs K query plans concurrently
 /// — one worker task per query, each draining its own serial NextBatch
 /// chain — with all scan leaves attached to one shared scan per source
-/// (ConcurrentOptions::shared_scan). results[i] is queries[i]'s result
-/// value set, exactly what ExecuteColumn(plan, result_ref) returns for
-/// that query alone. Queries attach whenever their leaf Opens, so a
-/// task that starts late joins the in-flight scan and circles back for
-/// the morsels it missed.
+/// (ConcurrentOptions::shared_scan). outcomes[i] belongs to
+/// queries[i]; an OK outcome's value is exactly what
+/// ExecuteColumn(plan, result_ref) returns for that query alone.
+/// Queries attach whenever their leaf Opens, so a task that starts
+/// late joins the in-flight scan and circles back for the morsels it
+/// missed. The batch-level Result is only for setup failure; per-query
+/// failures land in the outcomes.
+Result<std::vector<ConcurrentQueryOutcome>> ExecuteConcurrentOutcomes(
+    const std::vector<ConcurrentQuery>& queries, const ExecContext& ctx,
+    const ConcurrentOptions& options);
+
+/// All-or-nothing wrapper over ExecuteConcurrentOutcomes: results[i]
+/// is queries[i]'s value set, and the first non-OK member outcome
+/// fails the whole call (the pre-outcome contract, kept for callers
+/// without per-query error handling).
 Result<std::vector<Value>> ExecuteConcurrentColumns(
     const std::vector<ConcurrentQuery>& queries, const ExecContext& ctx,
     const ConcurrentOptions& options);

@@ -336,8 +336,11 @@ class SharedBatchSource : public BatchSource {
 /// read the same as before the refactor.
 class ScanOp : public PhysOperator {
  public:
-  ScanOp(std::string ref, BatchSourcePtr source)
-      : PhysOperator({std::move(ref)}), source_(std::move(source)) {}
+  ScanOp(const ExecContext& ctx, std::string ref, BatchSourcePtr source)
+      : PhysOperator({std::move(ref)}),
+        source_(std::move(source)),
+        cancel_(ctx.cancel),
+        deadline_(ctx.deadline) {}
 
   Status Open() override {
     row_pos_ = 0;
@@ -349,6 +352,7 @@ class ScanOp : public PhysOperator {
     // buffer; scan leaves have no per-row evaluation, so this is the
     // same value stream the dedicated row cursors produced.
     while (row_pos_ >= row_batch_.num_rows()) {
+      VODAK_RETURN_IF_ERROR(CheckQueryAlive(cancel_, deadline_));
       VODAK_ASSIGN_OR_RETURN(bool more, source_->NextBatch(&row_batch_));
       if (!more) return false;
       row_pos_ = 0;
@@ -358,6 +362,10 @@ class ScanOp : public PhysOperator {
     return true;
   }
   Result<bool> NextBatch(RowBatch* batch) override {
+    // The executor's cancellation point: every pipeline drains through
+    // its scan leaves (blocking join builds included), so one check per
+    // leaf batch bounds cancel latency at ~a batch of rows everywhere.
+    VODAK_RETURN_IF_ERROR(CheckQueryAlive(cancel_, deadline_));
     VODAK_ASSIGN_OR_RETURN(bool more, source_->NextBatch(batch));
     if (more) rows_produced_ += batch->num_rows();
     return more;
@@ -376,6 +384,8 @@ class ScanOp : public PhysOperator {
 
  private:
   BatchSourcePtr source_;
+  const CancellationToken* cancel_;
+  Deadline deadline_;
   RowBatch row_batch_;
   size_t row_pos_ = 0;
 };
@@ -1153,7 +1163,7 @@ Result<PhysOpPtr> BuildPhysicalImpl(const LogicalRef& plan,
         source = std::make_unique<ExtentBatchSource>(
             ctx, plan->class_name(), cls->class_id());
       }
-      return PhysOpPtr(new ScanOp(plan->ref(), std::move(source)));
+      return PhysOpPtr(new ScanOp(ctx, plan->ref(), std::move(source)));
     }
     case LogicalOp::kExprSource: {
       BatchSourcePtr source;
@@ -1165,7 +1175,7 @@ Result<PhysOpPtr> BuildPhysicalImpl(const LogicalRef& plan,
       } else {
         source = std::make_unique<ExprBatchSource>(ctx, plan->expr());
       }
-      return PhysOpPtr(new ScanOp(plan->ref(), std::move(source)));
+      return PhysOpPtr(new ScanOp(ctx, plan->ref(), std::move(source)));
     }
     case LogicalOp::kSelect: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,

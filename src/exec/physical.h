@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "algebra/logical.h"
+#include "exec/cancellation.h"
 #include "exec/row_batch.h"
 #include "expr/expr_eval.h"
 
@@ -122,6 +123,13 @@ struct ExecContext {
   /// column reads as well as the scan pass. Null reads the store
   /// directly.
   PropertyColumnCache* property_cache = nullptr;
+  /// This query's cancel flag (null: not cancellable) and deadline
+  /// (default: none). Polled at batch boundaries — every scan leaf's
+  /// NextBatch/refill — so a cancel or an expired deadline surfaces as
+  /// kCancelled / kDeadlineExceeded within ~one batch. Worker clones
+  /// copy the context, so all lanes of one query observe the same flag.
+  const CancellationToken* cancel = nullptr;
+  Deadline deadline;
 };
 
 /// Compiles a logical plan into a physical operator tree. Algorithm

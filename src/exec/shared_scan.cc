@@ -28,10 +28,22 @@ std::shared_ptr<SharedScanManager::Slot> SharedScanManager::SlotFor(
   return slot;
 }
 
+bool SharedScanManager::HasSource(const std::string& key) const {
+  MutexLock lock(mu_);
+  return slots_.find(key) != slots_.end();
+}
+
+std::vector<std::string> SharedScanManager::SourceKeys() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(slots_.size());
+  for (const auto& [key, slot] : slots_) keys.push_back(key);
+  return keys;
+}
+
 Result<SharedScanManager::Slot*> SharedScanManager::EnsureExtentSlot(
     uint32_t class_id) {
-  std::shared_ptr<Slot> slot =
-      SlotFor("extent:" + std::to_string(class_id));
+  std::shared_ptr<Slot> slot = SlotFor(ExtentKey(class_id));
   std::call_once(slot->once, [&] {
     auto extent = store_->Extent(class_id);
     if (!extent.ok()) {
@@ -62,13 +74,14 @@ SharedScanManager::SharedExtent(uint32_t class_id) {
 Result<SharedScanConsumer> SharedScanManager::AttachExtent(
     uint32_t class_id) {
   VODAK_ASSIGN_OR_RETURN(Slot * slot, EnsureExtentSlot(class_id));
+  consumers_.fetch_add(1, std::memory_order_relaxed);
   return SharedScanConsumer(&slot->scan);
 }
 
 Result<SharedScanConsumer> SharedScanManager::AttachSource(
     const std::string& key,
     const std::function<Result<Value>()>& materialize) {
-  std::shared_ptr<Slot> slot = SlotFor("expr:" + key);
+  std::shared_ptr<Slot> slot = SlotFor(ExprKey(key));
   std::call_once(slot->once, [&] {
     auto set = materialize();
     if (!set.ok()) {
@@ -88,6 +101,7 @@ Result<SharedScanConsumer> SharedScanManager::AttachSource(
     materialized_.fetch_add(1, std::memory_order_relaxed);
   });
   VODAK_RETURN_IF_ERROR(slot->status);
+  consumers_.fetch_add(1, std::memory_order_relaxed);
   return SharedScanConsumer(&slot->scan);
 }
 

@@ -169,6 +169,30 @@ class SharedScanManager {
     return materialized_.load(std::memory_order_relaxed);
   }
 
+  /// Consumers attached so far across all slots (== leaf passes the
+  /// manager served; materialized_scans() of them were paid for).
+  size_t consumers_attached() const {
+    return consumers_.load(std::memory_order_relaxed);
+  }
+
+  /// Canonical slot keys, shared with the service's admission policy:
+  /// a plan's scan-leaf keys are computed with these so "does the
+  /// in-flight generation already cover this query's sources?" is a
+  /// string-set intersection against SourceKeys().
+  static std::string ExtentKey(uint32_t class_id) {
+    return "extent:" + std::to_string(class_id);
+  }
+  static std::string ExprKey(const std::string& expr) {
+    return "expr:" + expr;
+  }
+
+  /// True when a slot for `key` exists (some query already asked for
+  /// the source — it is materialized or being materialized right now).
+  bool HasSource(const std::string& key) const EXCLUDES(mu_);
+
+  /// Snapshot of the slot keys known to this manager.
+  std::vector<std::string> SourceKeys() const EXCLUDES(mu_);
+
  private:
   struct Slot {
     std::once_flag once;
@@ -184,9 +208,11 @@ class SharedScanManager {
   PropertyColumnCache cache_;
   /// Guards the slot map only; a Slot's contents are published by its
   /// own once_flag (call_once is the synchronization), not by mu_.
-  Mutex mu_;
+  /// Mutable: the const observers HasSource/SourceKeys lock it too.
+  mutable Mutex mu_;
   std::map<std::string, std::shared_ptr<Slot>> slots_ GUARDED_BY(mu_);
   std::atomic<size_t> materialized_{0};
+  std::atomic<size_t> consumers_{0};
 };
 
 }  // namespace exec

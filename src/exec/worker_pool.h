@@ -21,7 +21,8 @@ namespace exec {
 /// 0 → hardware concurrency (itself guarded: a libc that reports 0
 /// resolves to 1), otherwise `threads` itself. This is the single
 /// resolution point for every thread-count knob — the engine's
-/// ExecOptions, the interpreter's Options, the parallel drivers and
+/// RunOptions/SubmitOptions, the interpreter's Options, the parallel
+/// drivers, the query service's lanes and
 /// the WorkerPool constructor all route through it, so no call site
 /// carries its own hardware_concurrency guard.
 inline size_t ResolveThreads(size_t threads) {

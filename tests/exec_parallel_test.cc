@@ -368,18 +368,19 @@ TEST_F(ExecParallelTest, EngineThreadKnobMatchesNaive) {
   engine::Database session(&db_.catalog(), &db_.store(), &db_.methods());
   const std::string query =
       "ACCESS p FROM p IN Paragraph WHERE p.number >= 1";
-  engine::ExecOptions options;
-  options.optimize = false;
-  options.threads = 4;
-  auto parallel = session.Run(query, options);
+  engine::PlanOptions plan;
+  plan.optimize = false;
+  engine::RunOptions run;
+  run.threads = 4;
+  auto parallel = session.Run(query, plan, run);
   ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
   auto naive = session.RunNaive(query);
   ASSERT_TRUE(naive.ok());
   EXPECT_EQ(parallel.value().result, naive.value());
 
   // threads=0 resolves to hardware concurrency and still agrees.
-  options.threads = 0;
-  auto auto_threads = session.Run(query, options);
+  run.threads = 0;
+  auto auto_threads = session.Run(query, plan, run);
   ASSERT_TRUE(auto_threads.ok());
   EXPECT_EQ(auto_threads.value().result, naive.value());
 }

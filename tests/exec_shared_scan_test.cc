@@ -427,14 +427,15 @@ TEST_F(ExecSharedScanTest, EngineRunConcurrentMatchesRunAndNaive) {
       "ACCESS d.title FROM d IN Document",
       "ACCESS s FROM s IN Section WHERE s.number == 1",
   };
-  engine::ExecOptions options;
-  options.optimize = false;
-  options.threads = 4;
-  auto batch = session.RunConcurrent(texts, options);
+  engine::PlanOptions plan;
+  plan.optimize = false;
+  engine::SubmitOptions options;
+  options.lanes = 4;
+  auto batch = session.RunConcurrent(texts, options, plan);
   ASSERT_TRUE(batch.ok()) << batch.status().ToString();
   ASSERT_EQ(batch.value().size(), texts.size());
   for (size_t i = 0; i < texts.size(); ++i) {
-    auto alone = session.Run(texts[i], options);
+    auto alone = session.Run(texts[i], plan);
     ASSERT_TRUE(alone.ok()) << texts[i];
     EXPECT_EQ(alone.value().result, batch.value()[i].result) << texts[i];
     auto naive = session.RunNaive(texts[i]);
@@ -444,7 +445,7 @@ TEST_F(ExecSharedScanTest, EngineRunConcurrentMatchesRunAndNaive) {
 
   // The baseline flag runs the same batch over private cursors.
   options.shared_scan = false;
-  auto baseline = session.RunConcurrent(texts, options);
+  auto baseline = session.RunConcurrent(texts, options, plan);
   ASSERT_TRUE(baseline.ok());
   for (size_t i = 0; i < texts.size(); ++i) {
     EXPECT_EQ(batch.value()[i].result, baseline.value()[i].result);
@@ -453,15 +454,16 @@ TEST_F(ExecSharedScanTest, EngineRunConcurrentMatchesRunAndNaive) {
   // batch=false is honored per query (the row-at-a-time oracle mode),
   // composing with shared scans.
   options.shared_scan = true;
-  options.batch = false;
-  auto row_mode = session.RunConcurrent(texts, options);
+  engine::RunOptions row_run;
+  row_run.batch = false;
+  auto row_mode = session.RunConcurrent(texts, options, plan, row_run);
   ASSERT_TRUE(row_mode.ok());
   for (size_t i = 0; i < texts.size(); ++i) {
     EXPECT_EQ(batch.value()[i].result, row_mode.value()[i].result);
   }
 
   // An empty batch is a no-op, not a pool spawn.
-  auto empty = session.RunConcurrent({}, options);
+  auto empty = session.RunConcurrent({}, options, plan);
   ASSERT_TRUE(empty.ok());
   EXPECT_TRUE(empty.value().empty());
 }
