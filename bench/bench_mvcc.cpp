@@ -1,0 +1,236 @@
+// Experiment X12: the epoch-snapshot mutation path under a mixed
+// closed loop. K client sessions drive a 90/10 read/write workload
+// over one Account extent: reads are single-query Submits (each pins
+// the epoch current at admission and scans that snapshot), writes are
+// batched copy-on-write Submits (VQL UPDATE/INSERT/DELETE and
+// programmatic Mutation batches, committing a fresh epoch each). The
+// background reclaimer runs throughout, freeing versions behind the
+// oldest pin while the clients race it.
+//
+// The claim is measured, not inferred: the store's MVCC counters of
+// the counted run go into the JSON and scripts/ci.sh gates on them —
+// every read must have pinned a snapshot (snapshot_reads >= reads
+// completed), every committed batch must have made versions
+// (versions_created > 0, epochs_committed > 0), and reclaim must have
+// actually freed superseded versions behind the moving horizon
+// (versions_reclaimed > 0).
+//
+// Flags: --objects=N   extent size (default 20000)
+//        --clients=N   closed-loop client sessions (default 8)
+//        --ops=N       operations per client (default 400)
+//        --write-pct=N write percentage of the mix (default 10)
+//        --json=PATH   machine-readable record (BENCH_mvcc.json)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "engine/database.h"
+#include "objstore/object_store.h"
+#include "schema/catalog.h"
+
+namespace {
+
+using namespace vodak;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t objects = 20000;
+  size_t clients = 8;
+  size_t ops = 400;
+  int write_pct = 10;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--objects=", 10) == 0) {
+      objects = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--ops=", 6) == 0) {
+      ops = static_cast<size_t>(std::atoi(argv[i] + 6));
+    } else if (std::strncmp(argv[i], "--write-pct=", 12) == 0) {
+      write_pct = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--objects=N] [--clients=N] [--ops=N] "
+                   "[--write-pct=N] [--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (clients == 0) clients = 1;
+  if (write_pct < 0) write_pct = 0;
+  if (write_pct > 100) write_pct = 100;
+
+  constexpr int kBuckets = 16;
+  Catalog catalog;
+  ObjectStore store;
+  MethodRegistry methods;
+  auto cls = catalog.DefineClass("Account");
+  VODAK_CHECK(cls.ok());
+  VODAK_CHECK(cls.value()->AddProperty("v1", Type::Int()).ok());
+  VODAK_CHECK(cls.value()->AddProperty("v2", Type::Int()).ok());
+  VODAK_CHECK(cls.value()->AddProperty("bucket", Type::Int()).ok());
+  const uint32_t class_id = cls.value()->class_id();
+  VODAK_CHECK(store.RegisterClass("Account", 3) == class_id);
+
+  std::printf("building extent: %zu Account objects...\n", objects);
+  {
+    engine::Database loader(&catalog, &store, &methods);
+    engine::QueryRequest seed_batch;
+    for (size_t i = 0; i < objects; ++i) {
+      const int v = static_cast<int>(i);
+      seed_batch.mutations.push_back(Mutation::Insert(
+          class_id,
+          {{0, Value::Int(v)},
+           {1, Value::Int(v)},
+           {2, Value::Int(v % kBuckets)}}));
+    }
+    auto outcomes = loader.Submit({seed_batch});
+    VODAK_CHECK(outcomes[0].status.ok()) << outcomes[0].status.ToString();
+  }
+  store.mutable_stats()->Reset();
+  store.StartBackgroundReclaim();
+
+  std::atomic<uint64_t> reads_done{0};
+  std::atomic<uint64_t> writes_done{0};
+  std::atomic<uint64_t> rows_read{0};
+  std::atomic<bool> failed{false};
+
+  auto client = [&](size_t id) {
+    engine::Database session(&catalog, &store, &methods);
+    std::mt19937_64 rng(0x5eed + id);
+    engine::PlanOptions no_opt;
+    no_opt.optimize = false;
+    for (size_t op = 0; op < ops; ++op) {
+      const int bucket = static_cast<int>(rng() % kBuckets);
+      if (static_cast<int>(rng() % 100) < write_pct) {
+        const int x = static_cast<int>(rng() % 100000);
+        engine::QueryRequest request;
+        request.vql = "UPDATE Account SET v1 = " + std::to_string(x) +
+                      ", v2 = " + std::to_string(x) +
+                      " WHERE self.bucket == " + std::to_string(bucket);
+        auto outcomes = session.Submit({request});
+        if (!outcomes[0].status.ok()) {
+          std::fprintf(stderr, "client %zu write: %s\n", id,
+                       outcomes[0].status.ToString().c_str());
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        writes_done.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        auto result = session.Run(
+            "ACCESS a.v1 FROM a IN Account WHERE a.bucket == " +
+                std::to_string(bucket),
+            no_opt);
+        if (!result.ok()) {
+          std::fprintf(stderr, "client %zu read: %s\n", id,
+                       result.status().ToString().c_str());
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        rows_read.fetch_add(result.value().result.AsSet().size(),
+                            std::memory_order_relaxed);
+        reads_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::printf("closed loop: %zu clients x %zu ops, %d%% writes...\n",
+              clients, ops, write_pct);
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back(client, c);
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double elapsed_ms = MsSince(start);
+  store.StopBackgroundReclaim();
+  // One final pass with every pin dropped picks up whatever the
+  // background thread hadn't reached when the loop ended.
+  store.Reclaim();
+  VODAK_CHECK(!failed.load(std::memory_order_relaxed));
+
+  const StoreStats& stats = store.stats();
+  const uint64_t reads = reads_done.load(std::memory_order_relaxed);
+  const uint64_t writes = writes_done.load(std::memory_order_relaxed);
+  const uint64_t snapshot_reads =
+      stats.snapshot_reads.load(std::memory_order_relaxed);
+  const uint64_t versions_created =
+      stats.versions_created.load(std::memory_order_relaxed);
+  const uint64_t versions_reclaimed =
+      stats.versions_reclaimed.load(std::memory_order_relaxed);
+  const uint64_t epochs_committed =
+      stats.epochs_committed.load(std::memory_order_relaxed);
+  const double ops_per_sec =
+      (reads + writes) / (elapsed_ms / 1000.0);
+
+  std::printf(
+      "mixed loop: %8.2f ms, %llu reads + %llu writes = %.0f ops/s\n",
+      elapsed_ms, static_cast<unsigned long long>(reads),
+      static_cast<unsigned long long>(writes), ops_per_sec);
+  std::printf(
+      "mvcc: %llu snapshot reads, %llu epochs committed, %llu versions "
+      "created, %llu reclaimed\n",
+      static_cast<unsigned long long>(snapshot_reads),
+      static_cast<unsigned long long>(epochs_committed),
+      static_cast<unsigned long long>(versions_created),
+      static_cast<unsigned long long>(versions_reclaimed));
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"mvcc\",\n");
+    std::fprintf(f,
+                 "  \"workload\": \"closed-loop %d/%d read/write mix "
+                 "over one Account extent, background reclaim on\",\n",
+                 100 - write_pct, write_pct);
+    std::fprintf(f, "  \"objects\": %zu,\n", objects);
+    std::fprintf(f, "  \"clients\": %zu,\n", clients);
+    std::fprintf(f, "  \"ops_per_client\": %zu,\n", ops);
+    std::fprintf(f, "  \"write_pct\": %d,\n", write_pct);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"elapsed_ms\": %.3f,\n", elapsed_ms);
+    std::fprintf(f, "  \"ops_per_sec\": %.1f,\n", ops_per_sec);
+    std::fprintf(f, "  \"reads_completed\": %llu,\n",
+                 static_cast<unsigned long long>(reads));
+    std::fprintf(f, "  \"writes_committed\": %llu,\n",
+                 static_cast<unsigned long long>(writes));
+    std::fprintf(f, "  \"rows_read\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     rows_read.load(std::memory_order_relaxed)));
+    std::fprintf(f, "  \"snapshot_reads\": %llu,\n",
+                 static_cast<unsigned long long>(snapshot_reads));
+    std::fprintf(f, "  \"epochs_committed\": %llu,\n",
+                 static_cast<unsigned long long>(epochs_committed));
+    std::fprintf(f, "  \"versions_created\": %llu,\n",
+                 static_cast<unsigned long long>(versions_created));
+    std::fprintf(f, "  \"versions_reclaimed\": %llu\n",
+                 static_cast<unsigned long long>(versions_reclaimed));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

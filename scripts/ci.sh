@@ -14,9 +14,14 @@
 # socket clients vs the row-mode oracle) and gates BENCH_service.json
 # on its admission counters.
 #
+# `--mvcc` runs the epoch-snapshot stress gate: the differential MVCC
+# harness (tests/mvcc_stress_test.cc) under ThreadSanitizer with three
+# fixed seeds plus one time-derived seed (echoed into the log so any
+# failure replays with --seed=N).
+#
 # Usage: scripts/ci.sh [--skip-bench] [--tsan|--asan|--ubsan]
 #                      [--lint] [--tidy] [--thread-safety] [--service]
-#                      [--build-type=TYPE] [--build-dir=DIR]
+#                      [--mvcc] [--build-type=TYPE] [--build-dir=DIR]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +33,7 @@ LINT=0
 TIDY=0
 THREAD_SAFETY=0
 SERVICE=0
+MVCC=0
 for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
@@ -38,10 +44,11 @@ for arg in "$@"; do
     --tidy) TIDY=1 ;;
     --thread-safety) THREAD_SAFETY=1 ;;
     --service) SERVICE=1 ;;
+    --mvcc) MVCC=1 ;;
     --build-type=*) BUILD_TYPE="${arg#*=}" ;;
     --build-dir=*) BUILD_DIR="${arg#*=}" ;;
     *) echo "usage: scripts/ci.sh [--skip-bench] [--tsan|--asan|--ubsan]" \
-            "[--lint] [--tidy] [--thread-safety] [--service]" \
+            "[--lint] [--tidy] [--thread-safety] [--service] [--mvcc]" \
             "[--build-type=TYPE] [--build-dir=DIR]" >&2; exit 2 ;;
   esac
 done
@@ -119,10 +126,36 @@ if [[ -n "$SANITIZE" ]]; then
         ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"}
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
         --target exec_batch_test exec_parallel_test exec_selvec_test \
-                 exec_shared_scan_test engine_submit_test service_test
+                 exec_shared_scan_test engine_submit_test service_test \
+                 mvcc_edge_test mvcc_stress_test
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-        -R 'exec_batch_test|exec_parallel_test|exec_selvec_test|exec_shared_scan_test|engine_submit_test|service_test'
+        -R 'exec_batch_test|exec_parallel_test|exec_selvec_test|exec_shared_scan_test|engine_submit_test|service_test|mvcc_edge_test|mvcc_stress_test'
   echo "== ci.sh ($SANITIZE): all green =="
+  exit 0
+fi
+
+# ----------------------------------------------------------------- --mvcc
+# The epoch-snapshot stress gate: the differential MVCC harness under
+# ThreadSanitizer. Three fixed seeds make the leg reproducible run to
+# run; the fourth, time-derived seed walks the schedule space so the
+# suite keeps probing new interleavings — it is echoed (and printed by
+# the binary itself) so a failing run replays exactly.
+if [[ "$MVCC" == "1" ]]; then
+  : "${BUILD_DIR:=build-mvcc-tsan}"
+  echo "== mvcc: TSan build of the stress + edge suites =="
+  cmake -B "$BUILD_DIR" -S . -DVODAK_SANITIZE=thread \
+        ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} >/dev/null
+  cmake --build "$BUILD_DIR" -j"$(nproc)" \
+        --target mvcc_stress_test mvcc_edge_test
+  echo "== mvcc: deterministic edge cases =="
+  "$BUILD_DIR"/mvcc_edge_test
+  TIME_SEED="$(date +%s)"
+  echo "== mvcc: stress seeds 1 2 3 $TIME_SEED (time-derived) =="
+  for seed in 1 2 3 "$TIME_SEED"; do
+    echo "-- mvcc_stress_test --seed=$seed"
+    "$BUILD_DIR"/mvcc_stress_test --seed="$seed"
+  done
+  echo "== ci.sh (mvcc): all green =="
   exit 0
 fi
 
@@ -216,6 +249,17 @@ fi
 if ! grep -q "^## Static analysis & concurrency contracts" docs/ARCHITECTURE.md; then
   echo "ci.sh: docs/ARCHITECTURE.md lost the 'Static analysis &" \
        "concurrency contracts' chapter" >&2
+  exit 1
+fi
+# The MVCC chapter (version-chain layout, the epoch pin/unpin
+# protocol, cache keying, the reclaim rule) and its bench record.
+if ! grep -q "^## Writes, epochs & snapshot isolation" docs/ARCHITECTURE.md; then
+  echo "ci.sh: docs/ARCHITECTURE.md lost the 'Writes, epochs & snapshot" \
+       "isolation' chapter" >&2
+  exit 1
+fi
+if ! grep -q "BENCH_mvcc.json" docs/BENCHMARKS.md; then
+  echo "ci.sh: docs/BENCHMARKS.md does not document BENCH_mvcc.json" >&2
   exit 1
 fi
 # The query-service chapter (wire protocol, generation state machine,
@@ -321,6 +365,42 @@ fi
 echo "shared-scan gate: $EXT_SHARED extent pass(es) vs $EXT_PRIVATE," \
      "$PROP_SHARED property reads vs $PROP_PRIVATE -- ok"
 
+# MVCC gate: under the mixed closed loop every read must have pinned a
+# snapshot, every committed write batch must have created copy-on-write
+# versions, and the reclaimer must have actually freed superseded
+# versions behind the moving pin horizon.
+"$BUILD_DIR"/bench_mvcc --objects=2000 --clients=4 --ops=100 \
+                        --json=BENCH_mvcc.json
+mvcc_field() { sed -n "s/^ *\"$1\": \([0-9][0-9]*\).*/\1/p" BENCH_mvcc.json; }
+MVCC_READS="$(mvcc_field reads_completed)"
+MVCC_WRITES="$(mvcc_field writes_committed)"
+MVCC_SNAP="$(mvcc_field snapshot_reads)"
+MVCC_CREATED="$(mvcc_field versions_created)"
+MVCC_RECLAIMED="$(mvcc_field versions_reclaimed)"
+MVCC_EPOCHS="$(mvcc_field epochs_committed)"
+if [[ -z "$MVCC_READS" || -z "$MVCC_WRITES" || -z "$MVCC_SNAP" || \
+      -z "$MVCC_CREATED" || -z "$MVCC_RECLAIMED" || -z "$MVCC_EPOCHS" ]]; then
+  echo "ci.sh: BENCH_mvcc.json is missing counter fields" >&2
+  exit 1
+fi
+if (( MVCC_SNAP < MVCC_READS )); then
+  echo "ci.sh: only $MVCC_SNAP snapshot reads for $MVCC_READS completed" \
+       "reads -- readers are not pinning epoch snapshots" >&2
+  exit 1
+fi
+if (( MVCC_WRITES > 0 && (MVCC_CREATED == 0 || MVCC_EPOCHS == 0) )); then
+  echo "ci.sh: $MVCC_WRITES write batches committed but versions_created" \
+       "=$MVCC_CREATED, epochs_committed=$MVCC_EPOCHS" >&2
+  exit 1
+fi
+if (( MVCC_CREATED > 0 && MVCC_RECLAIMED == 0 )); then
+  echo "ci.sh: $MVCC_CREATED versions created but none reclaimed --" \
+       "the reclaimer never freed behind the pin horizon" >&2
+  exit 1
+fi
+echo "mvcc gate: $MVCC_SNAP snapshot reads / $MVCC_READS reads," \
+     "$MVCC_CREATED versions created, $MVCC_RECLAIMED reclaimed -- ok"
+
 # Google-benchmark binaries: run only the smallest Arg() variant of each
 # benchmark (plus arg-less ones) with a minimal measuring time.
 SMOKE_FILTER='(/(1|2|10|20|50)$|^[^/]+$)'
@@ -329,6 +409,7 @@ for bench in "${BENCHES[@]}"; do
   [[ "$(basename "$bench")" == "bench_shared_scan" ]] && continue
   # bench_service has its own flags and gate (ci.sh --service).
   [[ "$(basename "$bench")" == "bench_service" ]] && continue
+  [[ "$(basename "$bench")" == "bench_mvcc" ]] && continue
   echo "-- $bench"
   "$bench" --benchmark_filter="$SMOKE_FILTER" --benchmark_min_time=0.01
 done

@@ -9,18 +9,22 @@ Contracts (docs/ARCHITECTURE.md §"Static analysis & concurrency
 contracts"):
 
 1. mutex-guards — every mutex member in src/ is the annotated
-   vodak::Mutex (raw std::mutex/std::shared_mutex members defeat the
-   clang thread-safety analysis, which needs the CAPABILITY attribute)
-   and has at least one GUARDED_BY/PT_GUARDED_BY(<name>) field in the
-   same file. A mutex that deliberately guards a phase rather than
-   fields carries `lint: no-guarded-fields(<why>)` on its declaration.
+   vodak::Mutex or vodak::SharedMutex (raw std::mutex /
+   std::shared_mutex members defeat the clang thread-safety analysis,
+   which needs the CAPABILITY attribute) and has at least one
+   GUARDED_BY/PT_GUARDED_BY(<name>) field in the same file. A mutex
+   that deliberately guards a phase rather than fields carries
+   `lint: no-guarded-fields(<why>)` on its declaration.
 
 2. atomic-orders — every std::atomic operation in src/ spells its
    memory order explicitly. Implicit seq_cst (`.load()`, `ctr = 0`,
    `ctr++`) hides the strongest, most expensive ordering behind the
    most innocent syntax; the repo's rule is that ordering is always a
    written-down decision. `// lint: not-atomic` waives a line whose
-   .load()/.store() call is not an atomic.
+   .load()/.store() call is not an atomic — except on atomics whose
+   name contains epoch/version (the MVCC clock, version-chain stamps
+   and reclaim counters): those orders are always load-bearing for
+   snapshot visibility and must be spelled, waiver or not.
 
 3. operator-contracts — every PhysOperator/BatchSource subclass
    anywhere in src/ (today they all live in src/exec/physical.{h,cc},
@@ -122,9 +126,15 @@ def line_of(text, pos):
 
 # ----------------------------------------------------------- 1. mutexes
 def check_mutex_guards():
+    # `[ \t]*` (not `\s*`): under re.M a `\s*` after `^` walks across
+    # newlines, so a match could start lines above the declaration and
+    # the waiver-comment check would read the wrong line. The trailing
+    # alternative matches declarations carrying an attribute macro
+    # (`SharedMutex data_mu_ ACQUIRED_BEFORE(...)`).
     decl_re = re.compile(
-        r"^\s*(?:mutable\s+)?(std::mutex|std::shared_mutex|(?:vodak::)?Mutex)"
-        r"\s+(\w+)\s*(?:;|=)",
+        r"^[ \t]*(?:mutable\s+)?"
+        r"(std::mutex|std::shared_mutex|(?:vodak::)?(?:Shared)?Mutex)"
+        r"\s+(\w+)\s*(?:;|=|[A-Z_][A-Z0-9_]*\s*\()",
         re.M,
     )
     for path in src_files():
@@ -162,6 +172,13 @@ ATOMIC_METHODS = (
     "compare_exchange_strong",
 )
 
+# Atomics whose name says epoch or version are the MVCC machinery: the
+# global epoch clock, version-chain stamps, the reclaim counters. Their
+# ordering is always load-bearing for snapshot visibility, so the
+# `lint: not-atomic` waiver does not apply to them — the memory order
+# must be spelled at every operation, no exceptions.
+MVCC_NAME_RE = re.compile(r"epoch|version", re.I)
+
 
 def call_args(code, open_paren):
     """The argument text of a call whose '(' is at open_paren."""
@@ -196,7 +213,11 @@ def check_atomic_orders():
             args = call_args(code, m.end() - 1)
             line = line_of(code, m.start())
             raw_line = lines[line - 1] if line <= len(lines) else ""
-            if "lint: not-atomic" in raw_line:
+            recv = re.search(r"(\w+)\s*$", code[:m.start()])
+            recv_name = recv.group(1) if recv else ""
+            mvcc = (recv_name in atomic_names
+                    and MVCC_NAME_RE.search(recv_name))
+            if "lint: not-atomic" in raw_line and not mvcc:
                 continue
             if "memory_order" in args:
                 continue
@@ -206,15 +227,29 @@ def check_atomic_orders():
             # when the receiver is a known atomic member (getters named
             # load() would false-positive otherwise).
             if not args.strip():
-                recv = re.search(r"(\w+)\s*$", code[:m.start()])
-                if name == "load" and recv and recv.group(1) in atomic_names:
-                    err(path, line,
-                        "implicit seq_cst .load(): spell the memory "
-                        "order (or waive with `lint: not-atomic`)")
+                if name == "load" and recv_name in atomic_names:
+                    if mvcc:
+                        err(path, line,
+                            f"epoch/version atomic '{recv_name}': "
+                            "implicit seq_cst .load(); MVCC clock and "
+                            "chain atomics must spell the memory order "
+                            "(`lint: not-atomic` does not apply)")
+                    else:
+                        err(path, line,
+                            "implicit seq_cst .load(): spell the memory "
+                            "order (or waive with `lint: not-atomic`)")
                 continue
-            err(path, line,
-                f"atomic .{name}() without an explicit std::memory_order "
-                "argument (or waive with `lint: not-atomic`)")
+            if mvcc:
+                err(path, line,
+                    f"epoch/version atomic '{recv_name}': .{name}() "
+                    "without an explicit std::memory_order; MVCC clock "
+                    "and chain atomics must spell the memory order "
+                    "(`lint: not-atomic` does not apply)")
+            else:
+                err(path, line,
+                    f"atomic .{name}() without an explicit "
+                    "std::memory_order argument (or waive with "
+                    "`lint: not-atomic`)")
 
         # Implicit operations spelled as plain arithmetic/assignment on
         # known atomic members: `ctr = 0`, `ctr++`, `++ctr`, `ctr += n`.
@@ -229,9 +264,10 @@ def check_atomic_orders():
                 raw_line = lines[line - 1] if line <= len(lines) else ""
                 if decl_or_type.search(raw_line):
                     continue  # declaration/initialization, not an op
-                if "lint: not-atomic" in raw_line:
-                    continue
                 name = m.group(2) or m.group(3)
+                if ("lint: not-atomic" in raw_line
+                        and not MVCC_NAME_RE.search(name)):
+                    continue
                 err(path, line,
                     f"implicit seq_cst atomic op on '{name}': use "
                     ".store/.load/.fetch_* with an explicit memory order")

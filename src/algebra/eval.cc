@@ -102,8 +102,10 @@ Result<Value> EvalLogical(const LogicalRef& node,
         return Status::BindError("unknown class '" + node->class_name() +
                                  "'");
       }
-      VODAK_ASSIGN_OR_RETURN(std::vector<Oid> extent,
-                             evaluator.store()->Extent(cls->class_id()));
+      VODAK_ASSIGN_OR_RETURN(
+          std::vector<Oid> extent,
+          evaluator.store()->Extent(cls->class_id(),
+                                    evaluator.snapshot()));
       std::vector<Value> tuples;
       tuples.reserve(extent.size());
       for (Oid oid : extent) {

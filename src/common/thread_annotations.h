@@ -24,6 +24,7 @@
 #define VODAK_COMMON_THREAD_ANNOTATIONS_H_
 
 #include <mutex>
+#include <shared_mutex>
 
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(guarded_by)
@@ -151,6 +152,55 @@ class SCOPED_CAPABILITY UniqueLock {
  private:
   Mutex& mu_;
   bool owned_;
+};
+
+/// std::shared_mutex with the capability attribute, for the
+/// reader/writer split the MVCC store needs: many concurrent snapshot
+/// readers (lock_shared) against one writer (lock). Same rationale as
+/// vodak::Mutex — libstdc++'s shared_mutex is unannotated, so guarding
+/// fields with it raw would blind the analysis.
+class CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;  // lint: no-guarded-fields(the wrapper IS the lock)
+};
+
+/// Scoped shared (reader) hold on a SharedMutex. The destructor uses
+/// the generic RELEASE() — for a scoped capability clang treats it as
+/// releasing whichever mode the constructor acquired, which is the
+/// abseil ReaderMutexLock convention.
+class SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedLock() RELEASE() { mu_.unlock_shared(); }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped exclusive (writer) hold on a SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~WriterLock() RELEASE() { mu_.unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 }  // namespace vodak

@@ -96,10 +96,12 @@ Result<PreparedQuery> Database::Prepare(const std::string& vql,
 
 Status Database::ExecuteSingle(const QueryRequest& request,
                                const std::string& result_ref,
-                               QueryResult* result, QueryStats* stats) {
+                               QueryResult* result, QueryStats* stats,
+                               Epoch snapshot) {
   exec::ExecContext exec_ctx{catalog_, store_, methods_};
   exec_ctx.cancel = request.cancel;
   exec_ctx.deadline = request.deadline;
+  exec_ctx.snapshot_epoch = snapshot;
   VODAK_ASSIGN_OR_RETURN(
       exec::PhysOpPtr root,
       exec::BuildPhysical(result->chosen_plan, exec_ctx));
@@ -144,6 +146,89 @@ Status Database::ExecuteSingle(const QueryRequest& request,
   return Status::OK();
 }
 
+Result<std::vector<Mutation>> Database::BuildMutations(
+    const vql::BoundWrite& write) const {
+  const ExprEvaluator evaluator(catalog_, store_, methods_);
+  std::vector<Mutation> mutations;
+  if (write.kind == vql::WriteStatement::Kind::kInsert) {
+    std::vector<std::pair<uint32_t, Value>> sets;
+    sets.reserve(write.sets.size());
+    for (const auto& [slot, expr] : write.sets) {
+      VODAK_ASSIGN_OR_RETURN(Value v, evaluator.Eval(expr, {}));
+      sets.emplace_back(slot, std::move(v));
+    }
+    mutations.push_back(Mutation::Insert(write.class_id, std::move(sets)));
+    return mutations;
+  }
+  // UPDATE / DELETE: expand the predicate over the current extent. The
+  // caller holds write_mu_, so no other writer can move the extent
+  // between this scan and the Apply.
+  VODAK_ASSIGN_OR_RETURN(std::vector<Oid> extent,
+                         store_->Extent(write.class_id));
+  for (Oid oid : extent) {
+    Env env;
+    env["self"] = Value::OfOid(oid);
+    if (write.where != nullptr) {
+      VODAK_ASSIGN_OR_RETURN(bool keep,
+                             evaluator.EvalPredicate(write.where, env));
+      if (!keep) continue;
+    }
+    if (write.kind == vql::WriteStatement::Kind::kDelete) {
+      mutations.push_back(Mutation::Delete(oid));
+      continue;
+    }
+    std::vector<std::pair<uint32_t, Value>> sets;
+    sets.reserve(write.sets.size());
+    for (const auto& [slot, expr] : write.sets) {
+      VODAK_ASSIGN_OR_RETURN(Value v, evaluator.Eval(expr, env));
+      sets.emplace_back(slot, std::move(v));
+    }
+    mutations.push_back(Mutation::Update(oid, std::move(sets)));
+  }
+  return mutations;
+}
+
+Status Database::ExecuteWrite(const QueryRequest& request,
+                              QueryResult* result, QueryStats* stats) {
+  auto plan_start = std::chrono::steady_clock::now();
+  UniqueLock lock(write_mu_);
+  std::vector<Mutation> mutations;
+  bool vql_insert = false;
+  if (!request.mutations.empty()) {
+    mutations = request.mutations;
+  } else {
+    VODAK_ASSIGN_OR_RETURN(vql::WriteStatement stmt,
+                           vql::ParseWrite(request.vql));
+    vql::Binder binder(catalog_);
+    VODAK_ASSIGN_OR_RETURN(vql::BoundWrite write, binder.BindWrite(stmt));
+    vql_insert = write.kind == vql::WriteStatement::Kind::kInsert;
+    VODAK_ASSIGN_OR_RETURN(mutations, BuildMutations(write));
+  }
+  stats->plan_ms = MsSince(plan_start);
+
+  auto apply_start = std::chrono::steady_clock::now();
+  VODAK_ASSIGN_OR_RETURN(MutationResult applied, store_->Apply(mutations));
+  stats->drain_ms = MsSince(apply_start);
+  result->execute_ms = stats->drain_ms;
+  // A write's "snapshot" is the epoch its batch committed as — the
+  // first epoch at which its effects are visible.
+  result->snapshot_epoch = applied.epoch;
+  stats->snapshot_epoch = applied.epoch;
+
+  // Result shape: creations yield the created oids (a set, like a
+  // read); pure update/delete batches yield the affected-object count.
+  if (!applied.created.empty() || vql_insert) {
+    std::vector<Value> oids;
+    oids.reserve(applied.created.size());
+    for (Oid oid : applied.created) oids.push_back(Value::OfOid(oid));
+    result->result = Value::Set(std::move(oids));
+  } else {
+    result->result =
+        Value::Int(static_cast<int64_t>(applied.updated + applied.deleted));
+  }
+  return Status::OK();
+}
+
 std::vector<QueryOutcome> Database::Submit(
     const std::vector<QueryRequest>& requests,
     const SubmitOptions& options) {
@@ -151,6 +236,9 @@ std::vector<QueryOutcome> Database::Submit(
   // Plan serially (the optimizer module is not built for concurrent
   // Optimize calls); the drains below overlap. A request that is
   // already cancelled or expired is rejected here, before planning.
+  // Write requests commit right here, in request order, during this
+  // admission pass — so the snapshot the batch's readers pin below
+  // already contains every write the batch carried.
   std::vector<size_t> runnable;
   std::vector<exec::ConcurrentQuery> plans;
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -158,6 +246,10 @@ std::vector<QueryOutcome> Database::Submit(
     QueryOutcome& o = out[i];
     o.status = exec::CheckQueryAlive(request.cancel, request.deadline);
     if (!o.status.ok()) continue;
+    if (!request.mutations.empty() || vql::IsWriteStatement(request.vql)) {
+      o.status = ExecuteWrite(request, &o.result, &o.stats);
+      continue;
+    }
     auto plan_start = std::chrono::steady_clock::now();
     vql::BoundQuery bound;
     Result<QueryResult> planned = PlanQuery(request.vql, request.plan,
@@ -183,6 +275,15 @@ std::vector<QueryOutcome> Database::Submit(
   }
   if (runnable.empty()) return out;
 
+  // Pin the batch's read snapshot: one epoch for every reader, taken
+  // after the batch's writes committed. Versions visible at this epoch
+  // survive reclaim until the pin drops at the end of the drain.
+  EpochPin pin(store_);
+  for (size_t i : runnable) {
+    out[i].stats.snapshot_epoch = pin.epoch();
+    out[i].result.snapshot_epoch = pin.epoch();
+  }
+
   if (runnable.size() == 1) {
     // A lone query gets the intra-query morsel-parallel path: its
     // RunOptions::threads splits the one plan over morsels instead of
@@ -190,11 +291,12 @@ std::vector<QueryOutcome> Database::Submit(
     QueryOutcome& o = out[runnable[0]];
     o.stats.generation_id = NextGenerationId();
     o.status = ExecuteSingle(requests[runnable[0]], plans[0].result_ref,
-                             &o.result, &o.stats);
+                             &o.result, &o.stats, pin.epoch());
     return out;
   }
 
   exec::ExecContext exec_ctx{catalog_, store_, methods_};
+  exec_ctx.snapshot_epoch = pin.epoch();
   // The EXPLAIN skeleton is the serial private-leaf tree, like the
   // morsel-parallel path's; the note below records how the leaves
   // actually executed. The workers rebuild their own (shared-leaf)
@@ -298,7 +400,15 @@ Result<Value> Database::RunNaive(
 Result<std::vector<Value>> Database::RunNaiveConcurrent(
     const std::vector<std::string>& queries,
     vql::Interpreter::Options options) const {
-  exec::SharedScanManager manager(store_, options.morsel_size);
+  // Pin one snapshot for the whole batch (unless the caller already
+  // chose one) so the shared extents and the per-query property reads
+  // agree even when a writer commits mid-batch.
+  EpochPin pin(store_);
+  if (options.snapshot_epoch == kEpochLatest) {
+    options.snapshot_epoch = pin.epoch();
+  }
+  exec::SharedScanManager manager(store_, options.morsel_size,
+                                  options.snapshot_epoch);
   options.shared_scans = &manager;
   vql::Interpreter interpreter(catalog_, store_, methods_);
   std::vector<Value> out;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "engine/query_api.h"
 #include "exec/parallel.h"
 #include "exec/physical.h"
@@ -133,10 +134,27 @@ class Database {
                                 const PlanOptions& options,
                                 vql::BoundQuery* bound_out);
   /// The single-query execution path: morsel-driven intra-query
-  /// parallelism under run.threads, honoring cancel/deadline.
+  /// parallelism under run.threads, honoring cancel/deadline. Every
+  /// store read resolves at `snapshot` — the epoch Submit pinned for
+  /// the batch.
   Status ExecuteSingle(const QueryRequest& request,
                        const std::string& result_ref, QueryResult* result,
-                       QueryStats* stats);
+                       QueryStats* stats, Epoch snapshot);
+  /// The write half of Submit: parses/binds a VQL write statement (or
+  /// takes the programmatic Mutation batch verbatim), expands
+  /// UPDATE/DELETE predicates into per-object mutations, and commits
+  /// the whole request atomically under one epoch bump. Serialized
+  /// under write_mu_ so the expansion scan and the Apply are one
+  /// indivisible writer step.
+  Status ExecuteWrite(const QueryRequest& request, QueryResult* result,
+                      QueryStats* stats) EXCLUDES(write_mu_);
+  /// Expands a bound write statement into the store's mutation batch:
+  /// INSERT evaluates its closed SET expressions once; UPDATE/DELETE
+  /// scan the class extent at the current epoch and evaluate the
+  /// predicate (and UPDATE's SET expressions) per candidate under
+  /// `self`. Caller holds write_mu_.
+  Result<std::vector<Mutation>> BuildMutations(
+      const vql::BoundWrite& write) const REQUIRES(write_mu_);
   /// EnsurePool, but exact: ExecuteConcurrentColumns refuses a
   /// mis-sized pool (the threads knob, not the pool, sizes a batch),
   /// so the session pool is rebuilt at exactly `threads` lanes when it
@@ -147,6 +165,12 @@ class Database {
   const Catalog* catalog_;
   ObjectStore* store_;
   MethodRegistry* methods_;
+  /// Serializes write requests across Submit calls: the predicate
+  /// expansion scan in BuildMutations and the subsequent Apply must see
+  /// no interleaved writer, or an UPDATE could target objects a
+  /// concurrent DELETE already removed. Guards a critical section, not
+  /// data — the store's own data_mu_ protects the objects.
+  Mutex write_mu_;  // lint: no-guarded-fields(serializes build+apply, guards no data)
   semantics::KnowledgeBase knowledge_;
   std::vector<opt::MethodStatsProvider> providers_;
   semantics::GeneratedOptimizer module_;

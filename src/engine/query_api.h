@@ -14,6 +14,8 @@
 #include "algebra/logical.h"
 #include "exec/cancellation.h"
 #include "exec/morsel_source.h"
+#include "objstore/epoch.h"
+#include "objstore/object_store.h"
 #include "optimizer/optimizer.h"
 
 namespace vodak {
@@ -65,9 +67,17 @@ struct SubmitOptions {
   bool shared_scan = true;
 };
 
-/// One query of a Submit batch.
+/// One query of a Submit batch. A request is a *write* when
+/// `mutations` is non-empty (a programmatic batch) or when `vql` is a
+/// write statement (INSERT INTO / UPDATE / DELETE FROM); writes commit
+/// atomically under one epoch bump and run in request order during
+/// admission, before the batch's readers drain (see
+/// Database::Submit).
 struct QueryRequest {
   std::string vql;
+  /// Programmatic write batch; non-empty makes this request a write
+  /// and `vql` is ignored.
+  std::vector<Mutation> mutations;
   /// Cancel flag the caller may trip from any thread (null: not
   /// cancellable). The token must outlive the Submit call.
   const exec::CancellationToken* cancel = nullptr;
@@ -98,6 +108,10 @@ struct QueryResult {
   double execute_ms = 0.0;
   /// Physical plan rendering.
   std::string physical_explain;
+  /// The epoch this query read at (write requests: the epoch their
+  /// batch committed as). Duplicated from QueryStats::snapshot_epoch so
+  /// the Run/RunConcurrent shims — which drop stats — still surface it.
+  Epoch snapshot_epoch = kEpochLatest;
 };
 
 /// Per-query timing and placement stats — the honest replacement for
@@ -117,6 +131,10 @@ struct QueryStats {
   /// True when the query joined a generation whose shared-scan pass
   /// was already in flight and circled back for the morsels it missed.
   bool attached_late = false;
+  /// The snapshot this query executed against: readers report the
+  /// epoch pinned at admission; write requests report the epoch their
+  /// mutation batch committed as.
+  Epoch snapshot_epoch = kEpochLatest;
 };
 
 /// One query's complete outcome. `status` is per query: a cancelled,

@@ -151,8 +151,10 @@ Result<std::vector<ConcurrentQueryOutcome>> ExecuteConcurrentOutcomes(
   if (queries.empty()) return out;
 
   // One manager per batch: its shared scans and property-column cache
-  // live exactly as long as the queries that attach to them.
-  SharedScanManager manager(ctx.store, options.morsel_size);
+  // live exactly as long as the queries that attach to them, and
+  // materialize at the batch's pinned snapshot.
+  SharedScanManager manager(ctx.store, options.morsel_size,
+                            ctx.snapshot_epoch);
   ExecContext query_ctx = ctx;
   if (options.shared_scan) {
     query_ctx.shared_scans = &manager;

@@ -145,11 +145,12 @@ class ExtentBatchSource : public BatchSource {
   ExtentBatchSource(const ExecContext& ctx, std::string class_name,
                     uint32_t class_id)
       : store_(ctx.store),
+        snapshot_(ctx.snapshot_epoch),
         class_name_(std::move(class_name)),
         class_id_(class_id) {}
 
   Status Open() override {
-    VODAK_ASSIGN_OR_RETURN(extent_, store_->Extent(class_id_));
+    VODAK_ASSIGN_OR_RETURN(extent_, store_->Extent(class_id_, snapshot_));
     pos_ = 0;
     return Status::OK();
   }
@@ -164,6 +165,7 @@ class ExtentBatchSource : public BatchSource {
 
  private:
   ObjectStore* store_;
+  Epoch snapshot_;
   std::string class_name_;
   uint32_t class_id_;
   std::vector<Oid> extent_;
@@ -177,7 +179,7 @@ class ExprBatchSource : public BatchSource {
  public:
   ExprBatchSource(const ExecContext& ctx, ExprRef expr)
       : evaluator_(ctx.catalog, ctx.store, ctx.methods,
-                   ctx.property_cache),
+                   ctx.property_cache, ctx.snapshot_epoch),
         expr_(std::move(expr)) {}
 
   Status Open() override {
@@ -280,7 +282,8 @@ class SharedBatchSource : public BatchSource {
   SharedBatchSource(const ExecContext& ctx, ExprRef expr)
       : manager_(ctx.shared_scans),
         evaluator_(std::make_unique<ExprEvaluator>(
-            ctx.catalog, ctx.store, ctx.methods, ctx.property_cache)),
+            ctx.catalog, ctx.store, ctx.methods, ctx.property_cache,
+            ctx.snapshot_epoch)),
         expr_(std::move(expr)) {}
 
   Status Open() override {
@@ -400,7 +403,7 @@ class Filter : public PhysOperator {
   Filter(const ExecContext& ctx, PhysOpPtr child, ExprRef cond)
       : PhysOperator(child->refs()),
         evaluator_(ctx.catalog, ctx.store, ctx.methods,
-                   ctx.property_cache),
+                   ctx.property_cache, ctx.snapshot_epoch),
         child_(std::move(child)),
         cond_(std::move(cond)),
         compacts_(ctx.filter_compacts) {}
@@ -461,7 +464,7 @@ class NestedLoopJoin : public PhysOperator {
                  SharedInnerRows* shared = nullptr)
       : PhysOperator(std::move(refs)),
         evaluator_(ctx.catalog, ctx.store, ctx.methods,
-                   ctx.property_cache),
+                   ctx.property_cache, ctx.snapshot_epoch),
         left_(std::move(left)),
         right_(std::move(right)),
         cond_(std::move(cond)),
@@ -776,7 +779,7 @@ class MapOp : public PhysOperator {
         ExprRef expr, std::vector<std::string> refs)
       : PhysOperator(std::move(refs)),
         evaluator_(ctx.catalog, ctx.store, ctx.methods,
-                   ctx.property_cache),
+                   ctx.property_cache, ctx.snapshot_epoch),
         child_(std::move(child)),
         new_ref_(std::move(ref)),
         expr_(std::move(expr)) {
@@ -870,7 +873,7 @@ class FlatOp : public PhysOperator {
          ExprRef expr, std::vector<std::string> refs)
       : PhysOperator(std::move(refs)),
         evaluator_(ctx.catalog, ctx.store, ctx.methods,
-                   ctx.property_cache),
+                   ctx.property_cache, ctx.snapshot_epoch),
         child_(std::move(child)),
         new_ref_(std::move(ref)),
         expr_(std::move(expr)) {
@@ -1349,11 +1352,12 @@ Result<ParallelPlanStatePtr> PrepareParallelPlan(const LogicalRef& plan,
                                "'");
     }
     VODAK_ASSIGN_OR_RETURN(state->extent,
-                           ctx.store->Extent(cls->class_id()));
+                           ctx.store->Extent(cls->class_id(),
+                                             ctx.snapshot_epoch));
     state->leaf_is_extent = true;
   } else {
     ExprEvaluator evaluator(ctx.catalog, ctx.store, ctx.methods,
-                            ctx.property_cache);
+                            ctx.property_cache, ctx.snapshot_epoch);
     VODAK_ASSIGN_OR_RETURN(Value set, evaluator.EvalClosed(node->expr()));
     if (set.is_null()) {
       state->elements.clear();

@@ -130,6 +130,12 @@ struct ExecContext {
   /// copy the context, so all lanes of one query observe the same flag.
   const CancellationToken* cancel = nullptr;
   Deadline deadline;
+  /// The epoch every store read of this query resolves at — pinned by
+  /// Database::Submit (or the generation scheduler) at admission, so
+  /// the whole operator tree sees one consistent snapshot while writer
+  /// batches commit. kEpochLatest (the default) resolves per store
+  /// call; only read-only paths may leave it.
+  Epoch snapshot_epoch = kEpochLatest;
 };
 
 /// Compiles a logical plan into a physical operator tree. Algorithm

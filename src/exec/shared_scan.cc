@@ -45,7 +45,10 @@ Result<SharedScanManager::Slot*> SharedScanManager::EnsureExtentSlot(
     uint32_t class_id) {
   std::shared_ptr<Slot> slot = SlotFor(ExtentKey(class_id));
   std::call_once(slot->once, [&] {
-    auto extent = store_->Extent(class_id);
+    // Materialize at the manager's pinned snapshot: writer batches that
+    // commit while this generation drains do not change what any
+    // attached consumer sees.
+    auto extent = store_->Extent(class_id, snapshot_);
     if (!extent.ok()) {
       slot->status = extent.status();
       return;
@@ -58,7 +61,7 @@ Result<SharedScanManager::Slot*> SharedScanManager::EnsureExtentSlot(
     auto locals = std::make_shared<std::vector<uint32_t>>();
     locals->reserve(shared->size());
     for (const Oid& oid : *shared) locals->push_back(oid.local);
-    cache_.SeedLocals(class_id, std::move(locals));
+    cache_.SeedLocals(class_id, snapshot_, std::move(locals));
     materialized_.fetch_add(1, std::memory_order_relaxed);
   });
   VODAK_RETURN_IF_ERROR(slot->status);

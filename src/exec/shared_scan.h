@@ -131,13 +131,25 @@ class SharedScanConsumer {
 /// as the scan pass.
 ///
 /// Lifetime: created per ExecuteConcurrent call (or per
-/// RunNaiveConcurrent batch); queries must not outlive the manager.
+/// RunNaiveConcurrent batch / generation drain); queries must not
+/// outlive the manager.
+///
+/// Version-aware: a manager is constructed against one snapshot epoch
+/// (the epoch its batch or generation pinned at admission) and
+/// materializes every extent, and seeds every cache column, at that
+/// epoch — so a generation drains against its pinned epoch no matter
+/// how many writer batches commit mid-drain, and a manager built after
+/// a commit reads entirely fresh state. The default (kEpochLatest)
+/// resolves per store call, which is only safe for the read-only
+/// single-batch uses that predate the write path.
 class SharedScanManager {
  public:
   explicit SharedScanManager(ObjectStore* store,
-                             size_t morsel_size = kDefaultMorselSize)
+                             size_t morsel_size = kDefaultMorselSize,
+                             Epoch snapshot = kEpochLatest)
       : store_(store),
         morsel_size_(morsel_size == 0 ? 1 : morsel_size),
+        snapshot_(snapshot),
         cache_(store) {}
   SharedScanManager(const SharedScanManager&) = delete;
   SharedScanManager& operator=(const SharedScanManager&) = delete;
@@ -163,6 +175,9 @@ class SharedScanManager {
 
   /// The batch's cross-query property-column cache.
   PropertyColumnCache* property_cache() { return &cache_; }
+
+  /// The epoch every source of this manager materializes at.
+  Epoch snapshot() const { return snapshot_; }
 
   /// Distinct sources materialized so far (== scan passes paid).
   size_t materialized_scans() const {
@@ -205,6 +220,7 @@ class SharedScanManager {
 
   ObjectStore* store_;
   size_t morsel_size_;
+  Epoch snapshot_;
   PropertyColumnCache cache_;
   /// Guards the slot map only; a Slot's contents are published by its
   /// own once_flag (call_once is the synchronization), not by mu_.

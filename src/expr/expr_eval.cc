@@ -114,7 +114,8 @@ Result<Value> ExprEvaluator::EvalProperty(const Value& base,
   if (base.is_null()) return Value::Null();
   if (base.is_oid()) {
     if (base.AsOid().IsNull()) return Value::Null();
-    return ReadPropertyByName(*catalog_, *store_, base.AsOid(), prop);
+    return ReadPropertyByName(*catalog_, *store_, base.AsOid(), prop,
+                              snapshot_);
   }
   if (base.is_tuple()) return base.GetField(prop);
   if (base.is_set()) {
@@ -141,7 +142,7 @@ Result<Value> ExprEvaluator::EvalMethod(
   if (base.is_null()) return Value::Null();
   if (base.is_oid()) {
     if (base.AsOid().IsNull()) return Value::Null();
-    MethodCallContext ctx{catalog_, store_, methods_, 0};
+    MethodCallContext ctx{catalog_, store_, methods_, 0, snapshot_};
     return methods_->InvokeInstance(ctx, base.AsOid(), method, args);
   }
   if (base.is_set()) {
@@ -195,7 +196,7 @@ Result<Value> ExprEvaluator::Eval(const ExprRef& e, const Env& env) const {
         VODAK_ASSIGN_OR_RETURN(Value v, Eval(arg, env));
         args.push_back(std::move(v));
       }
-      MethodCallContext ctx{catalog_, store_, methods_, 0};
+      MethodCallContext ctx{catalog_, store_, methods_, 0, snapshot_};
       return methods_->InvokeClass(ctx, e->name(), e->method(), args);
     }
     case ExprKind::kBinary: {

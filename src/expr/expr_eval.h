@@ -70,13 +70,18 @@ class ExprEvaluator {
   /// pipeline's cross-query column sharing (docs/ARCHITECTURE.md
   /// §"Shared scans"). The scalar Eval path always reads the store
   /// directly, so the row-mode oracle stays cache-independent.
+  /// `snapshot` is the epoch every store read resolves at — the query's
+  /// pinned snapshot; the kEpochLatest default keeps read-only callers
+  /// (tests, loaders) on live state.
   ExprEvaluator(const Catalog* catalog, ObjectStore* store,
                 MethodRegistry* methods,
-                PropertyColumnCache* property_cache = nullptr)
+                PropertyColumnCache* property_cache = nullptr,
+                Epoch snapshot = kEpochLatest)
       : catalog_(catalog),
         store_(store),
         methods_(methods),
-        property_cache_(property_cache) {}
+        property_cache_(property_cache),
+        snapshot_(snapshot) {}
 
   Result<Value> Eval(const ExprRef& e, const Env& env) const;
 
@@ -114,6 +119,15 @@ class ExprEvaluator {
   const Catalog* catalog() const { return catalog_; }
   ObjectStore* store() const { return store_; }
   MethodRegistry* methods() const { return methods_; }
+  Epoch snapshot() const { return snapshot_; }
+
+  /// A copy of this evaluator reading at `snapshot` instead. Members
+  /// are raw pointers, so the copy is free; the interpreter uses this
+  /// to re-aim its const evaluator at a query's pinned epoch.
+  ExprEvaluator WithSnapshot(Epoch snapshot) const {
+    return ExprEvaluator(catalog_, store_, methods_, property_cache_,
+                         snapshot);
+  }
 
   /// Applies a binary operator to already-evaluated operands. Exposed so
   /// physical operators can evaluate restricted-algebra θ parameters
@@ -150,6 +164,7 @@ class ExprEvaluator {
   ObjectStore* store_;
   MethodRegistry* methods_;
   PropertyColumnCache* property_cache_;
+  Epoch snapshot_;
 };
 
 }  // namespace vodak

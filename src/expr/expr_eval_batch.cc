@@ -152,10 +152,10 @@ Result<ValueColumn> ExprEvaluator::EvalPropertyColumn(
     // (class, slot) however many queries ask.
     if (property_cache_ != nullptr) {
       VODAK_RETURN_IF_ERROR(property_cache_->ReadColumn(
-          run_class, run_prop->slot, run, 0, run.size(), &out));
+          run_class, run_prop->slot, run, 0, run.size(), &out, snapshot_));
     } else {
       VODAK_RETURN_IF_ERROR(store_->GetPropertyColumn(
-          run_class, run_prop->slot, run, 0, run.size(), &out));
+          run_class, run_prop->slot, run, 0, run.size(), &out, snapshot_));
     }
     run.clear();
     return Status::OK();
@@ -194,7 +194,7 @@ Result<ValueColumn> ExprEvaluator::EvalMethodColumn(
   const size_t n = base.size();
   ValueColumn out;
   out.reserve(n);
-  MethodCallContext ctx{catalog_, store_, methods_, 0};
+  MethodCallContext ctx{catalog_, store_, methods_, 0, snapshot_};
   // Contiguous runs of plain Oid receivers are dispatched through the
   // set-at-a-time ABI; NULL receivers yield NIL without a dispatch (they
   // are exactly the rows a row-at-a-time evaluation would have skipped),
@@ -300,7 +300,7 @@ Result<ValueColumn> ExprEvaluator::EvalBatch(const ExprRef& e,
       // common constant-argument shape) into a single external probe.
       ValueColumn out;
       out.reserve(n);
-      MethodCallContext ctx{catalog_, store_, methods_, 0};
+      MethodCallContext ctx{catalog_, store_, methods_, 0, snapshot_};
       VODAK_RETURN_IF_ERROR(methods_->InvokeClassBatch(
           ctx, e->name(), e->method(), n, arg_cols, &out));
       return out;

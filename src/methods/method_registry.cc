@@ -8,7 +8,7 @@ constexpr int kMaxMethodDepth = 64;
 
 Result<Value> ReadPropertyByName(const Catalog& catalog,
                                  const ObjectStore& store, Oid oid,
-                                 const std::string& property) {
+                                 const std::string& property, Epoch at) {
   const ClassDef* cls = catalog.FindClassById(oid.class_id);
   if (cls == nullptr) {
     return Status::NotFound("oid " + oid.ToString() +
@@ -19,7 +19,7 @@ Result<Value> ReadPropertyByName(const Catalog& catalog,
     return Status::NotFound("class '" + cls->name() +
                             "' has no property '" + property + "'");
   }
-  return store.GetProperty(oid, prop->slot);
+  return store.GetProperty(oid, prop->slot, at);
 }
 
 Status MethodRegistry::Register(const std::string& class_name,
@@ -92,7 +92,8 @@ Result<Value> MethodRegistry::EvalPath(
     if (current.AsOid().IsNull()) return Value::Null();
     VODAK_ASSIGN_OR_RETURN(
         current,
-        ReadPropertyByName(*ctx.catalog, *ctx.store, current.AsOid(), step));
+        ReadPropertyByName(*ctx.catalog, *ctx.store, current.AsOid(), step,
+                           ctx.snapshot_epoch));
   }
   return current;
 }

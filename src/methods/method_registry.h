@@ -37,6 +37,10 @@ struct MethodCallContext {
   MethodRegistry* methods = nullptr;
   /// Recursion guard for method bodies calling methods.
   int depth = 0;
+  /// Epoch every store read inside the method resolves at — inherited
+  /// from the calling query's pinned snapshot (trailing field so the
+  /// existing {catalog, store, methods, depth} brace-inits default it).
+  Epoch snapshot_epoch = kEpochLatest;
 };
 
 /// A native method body. `self` is the receiver instance Oid for
@@ -267,11 +271,12 @@ class MethodRegistry {
 };
 
 /// Resolves a property of `oid` by name through the catalog and reads it
-/// from the store. Shared helper for path methods, the interpreter and
-/// the physical operators.
+/// from the store at epoch `at`. Shared helper for path methods, the
+/// interpreter and the physical operators.
 Result<Value> ReadPropertyByName(const Catalog& catalog,
                                  const ObjectStore& store, Oid oid,
-                                 const std::string& property);
+                                 const std::string& property,
+                                 Epoch at = kEpochLatest);
 
 }  // namespace vodak
 

@@ -6,47 +6,49 @@
 namespace vodak {
 
 void PropertyColumnCache::SeedLocals(
-    uint32_t class_id,
+    uint32_t class_id, Epoch at,
     std::shared_ptr<const std::vector<uint32_t>> locals) {
   MutexLock lock(mu_);
-  std::shared_ptr<const std::vector<uint32_t>>& entry = seeded_[class_id];
+  std::shared_ptr<const std::vector<uint32_t>>& entry =
+      seeded_[{class_id, at}];
   if (entry == nullptr) entry = std::move(locals);  // first seed wins
 }
 
 std::shared_ptr<PropertyColumnCache::Column> PropertyColumnCache::EntryFor(
-    uint32_t class_id, uint32_t slot) {
+    uint32_t class_id, uint32_t slot, Epoch at) {
   MutexLock lock(mu_);
-  std::shared_ptr<Column>& entry = columns_[{class_id, slot}];
+  std::shared_ptr<Column>& entry = columns_[{class_id, slot, at}];
   if (entry == nullptr) entry = std::make_shared<Column>();
   return entry;
 }
 
 std::shared_ptr<const std::vector<uint32_t>> PropertyColumnCache::SeededLocals(
-    uint32_t class_id) {
+    uint32_t class_id, Epoch at) {
   MutexLock lock(mu_);
-  auto it = seeded_.find(class_id);
+  auto it = seeded_.find({class_id, at});
   return it == seeded_.end() ? nullptr : it->second;
 }
 
 Status PropertyColumnCache::ReadColumn(uint32_t class_id, uint32_t slot,
                                        const std::vector<uint32_t>& locals,
                                        size_t begin, size_t end,
-                                       std::vector<Value>* out) {
+                                       std::vector<Value>* out, Epoch at) {
   std::shared_ptr<const std::vector<uint32_t>> all =
-      SeededLocals(class_id);
+      SeededLocals(class_id, at);
   if (all == nullptr) {
-    // Class not covered by the shared scan: read through with the
-    // store's own range call. Caching here would cost an extent pass
-    // plus a full-column read the private baseline never pays.
+    // (class, epoch) not covered by the shared scan: read through with
+    // the store's own range call at the same epoch. Caching here would
+    // cost an extent pass plus a full-column read the private baseline
+    // never pays.
     fallback_rows_.fetch_add(end - begin, std::memory_order_relaxed);
     return store_->GetPropertyColumn(class_id, slot, locals, begin, end,
-                                     out);
+                                     out, at);
   }
-  std::shared_ptr<Column> entry = EntryFor(class_id, slot);
+  std::shared_ptr<Column> entry = EntryFor(class_id, slot, at);
   std::call_once(entry->once, [&] {
     std::vector<Value> values;
     entry->status = store_->GetPropertyColumn(class_id, slot, *all,
-                                              0, all->size(), &values);
+                                              0, all->size(), &values, at);
     if (!entry->status.ok()) return;
     uint32_t max_local = 0;
     for (uint32_t local : *all) max_local = std::max(max_local, local);
@@ -69,10 +71,11 @@ Status PropertyColumnCache::ReadColumn(uint32_t class_id, uint32_t slot,
       ++hits;
       continue;
     }
-    // Outside the snapshot (created after the fill, or an error class):
-    // read through so the cache can only be cold, never wrong.
-    VODAK_ASSIGN_OR_RETURN(Value v,
-                           store_->GetProperty(Oid(class_id, local), slot));
+    // Outside the snapshot's fill (created after it within the same
+    // epoch, or an error class): read through at the same epoch so the
+    // cache can only be cold, never wrong.
+    VODAK_ASSIGN_OR_RETURN(
+        Value v, store_->GetProperty(Oid(class_id, local), slot, at));
     out->push_back(std::move(v));
     ++fallbacks;
   }

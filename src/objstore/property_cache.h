@@ -8,10 +8,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "objstore/epoch.h"
 #include "objstore/object_store.h"
 
 namespace vodak {
@@ -31,11 +33,17 @@ namespace vodak {
 /// extent-sized read the private baseline never pays, so the cache
 /// only ever *removes* store work relative to the baseline.
 ///
-/// The snapshot is taken at first touch and assumes what query
-/// execution already assumes everywhere else: the store is read-only
-/// while queries run. Locals outside the snapshot (objects created
-/// after the fill) fall back to per-object store reads, so the cache
-/// is never wrong, only cold.
+/// Version-aware: every entry is keyed by (class, slot, epoch) and
+/// filled from the store *at that epoch*, so a cache shared by queries
+/// pinned to different snapshots never mixes their views — a write
+/// that bumps the epoch makes later generations read fresh entries
+/// while draining generations keep serving their pinned ones.
+/// Invalidation is versioned, never absent: stale entries aren't
+/// purged, they simply stop being keyed-to, and they vanish with the
+/// manager that owns the cache. Locals outside a fill's snapshot
+/// (objects created after it within the same epoch, e.g. by the
+/// in-place bulk-load path) fall back to per-object store reads at the
+/// same epoch, so the cache is never wrong, only cold.
 ///
 /// Thread-safe: entries are created under a mutex and filled under a
 /// per-entry once_flag (the SharedJoinBuild idiom), so concurrent
@@ -46,20 +54,23 @@ class PropertyColumnCache {
   PropertyColumnCache(const PropertyColumnCache&) = delete;
   PropertyColumnCache& operator=(const PropertyColumnCache&) = delete;
 
-  /// Registers the live locals of a class (the shared scan's
-  /// already-materialized extent) as eligible for full-column caching.
-  /// Only seeded classes are cached; see the class comment.
-  void SeedLocals(uint32_t class_id,
+  /// Registers the locals of a class visible at `at` (the shared
+  /// scan's already-materialized extent at its pinned epoch) as
+  /// eligible for full-column caching at that epoch. Only seeded
+  /// (class, epoch) pairs are cached; see the class comment.
+  void SeedLocals(uint32_t class_id, Epoch at,
                   std::shared_ptr<const std::vector<uint32_t>> locals)
       EXCLUDES(mu_);
 
-  /// Appends the value of `slot` for every local in locals[begin, end)
-  /// to `out`, in order — the contract of the range-scoped
-  /// ObjectStore::GetPropertyColumn — served from the cached column
-  /// for seeded classes, straight from the store otherwise.
+  /// Appends the value of `slot` at epoch `at` for every local in
+  /// locals[begin, end) to `out`, in order — the contract of the
+  /// range-scoped ObjectStore::GetPropertyColumn — served from the
+  /// cached column for seeded (class, epoch) pairs, straight from the
+  /// store otherwise.
   Status ReadColumn(uint32_t class_id, uint32_t slot,
                     const std::vector<uint32_t>& locals, size_t begin,
-                    size_t end, std::vector<Value>* out) EXCLUDES(mu_);
+                    size_t end, std::vector<Value>* out,
+                    Epoch at = kEpochLatest) EXCLUDES(mu_);
 
   /// Full-column store reads performed (one per distinct (class, slot)
   /// touched).
@@ -85,21 +96,25 @@ class PropertyColumnCache {
     std::vector<char> present;
   };
 
-  std::shared_ptr<Column> EntryFor(uint32_t class_id, uint32_t slot)
-      EXCLUDES(mu_);
-  /// The seeded locals of `class_id`, or null when the class is not
-  /// covered by the shared scan (read-through case).
+  std::shared_ptr<Column> EntryFor(uint32_t class_id, uint32_t slot,
+                                   Epoch at) EXCLUDES(mu_);
+  /// The seeded locals of `class_id` at `at`, or null when that
+  /// (class, epoch) pair is not covered by a shared scan (read-through
+  /// case).
   std::shared_ptr<const std::vector<uint32_t>> SeededLocals(
-      uint32_t class_id) EXCLUDES(mu_);
+      uint32_t class_id, Epoch at) EXCLUDES(mu_);
 
   ObjectStore* store_;
   /// Guards the entry maps only; a Column's payload is published by
   /// its own once_flag (call_once is the synchronization), not by mu_.
   Mutex mu_;
-  std::map<std::pair<uint32_t, uint32_t>, std::shared_ptr<Column>> columns_
-      GUARDED_BY(mu_);
-  std::map<uint32_t, std::shared_ptr<const std::vector<uint32_t>>> seeded_
-      GUARDED_BY(mu_);
+  /// Keyed (class, slot, epoch): entries for different snapshots
+  /// coexist, which is the whole invalidation story.
+  std::map<std::tuple<uint32_t, uint32_t, Epoch>, std::shared_ptr<Column>>
+      columns_ GUARDED_BY(mu_);
+  std::map<std::pair<uint32_t, Epoch>,
+           std::shared_ptr<const std::vector<uint32_t>>>
+      seeded_ GUARDED_BY(mu_);
   std::atomic<uint64_t> fills_{0};
   std::atomic<uint64_t> hit_rows_{0};
   std::atomic<uint64_t> fallback_rows_{0};

@@ -33,7 +33,11 @@ CostModel::CostModel(const Catalog* catalog, const ObjectStore* store,
 double CostModel::ExtentCardinality(const std::string& class_name) const {
   const ClassDef* cls = catalog_->FindClass(class_name);
   if (cls == nullptr) return 1.0;
-  auto size = store_->ExtentSize(cls->class_id());
+  // Deliberately the latest epoch, not a query's pinned snapshot: a
+  // cardinality statistic steers plan choice, it never touches result
+  // correctness, and the live count is O(1) where a snapshot count
+  // would walk every version chain at planning time.
+  auto size = store_->ExtentSize(cls->class_id(), kEpochLatest);
   return size.ok() ? static_cast<double>(size.value()) : 1.0;
 }
 

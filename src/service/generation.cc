@@ -183,8 +183,12 @@ void GenerationScheduler::ExecutorLoop() {
     const uint64_t generation = db_->NextGenerationId();
     const auto drain_start = std::chrono::steady_clock::now();
     // The generation's shared scans and property cache live exactly as
-    // long as its drain.
-    exec::SharedScanManager manager(db_->store(), options_.morsel_size);
+    // long as its drain — and so does its epoch pin: every member
+    // (including late attachers) reads the snapshot current when the
+    // generation formed, no matter what commits while it drains.
+    EpochPin pin(db_->store());
+    exec::SharedScanManager manager(db_->store(), options_.morsel_size,
+                                    pin.epoch());
     const StoreStats& store_stats = db_->store()->stats();
     const uint64_t scans_before =
         store_stats.extent_scans.load(std::memory_order_relaxed);
@@ -249,6 +253,7 @@ QueryReply GenerationScheduler::ExecuteMember(
   reply.stats.queue_ms = MsSince(query.admitted_at);
   reply.stats.generation_id = generation;
   reply.stats.attached_late = query.attached_late;
+  reply.stats.snapshot_epoch = manager->snapshot();
   const auto drain_start = std::chrono::steady_clock::now();
   reply.status = [&]() -> Status {
     // A member cancelled or expired while waiting in the generation
@@ -266,6 +271,7 @@ QueryReply GenerationScheduler::ExecuteMember(
     }
     ctx.cancel = query.cancel.get();
     ctx.deadline = query.deadline;
+    ctx.snapshot_epoch = manager->snapshot();
     VODAK_ASSIGN_OR_RETURN(exec::PhysOpPtr root,
                            exec::BuildPhysical(query.plan, ctx));
     VODAK_ASSIGN_OR_RETURN(

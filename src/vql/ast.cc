@@ -32,5 +32,28 @@ std::string BoundQuery::ToString() const {
   return out;
 }
 
+std::string WriteStatement::ToString() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kInsert:
+      out = "INSERT INTO " + class_name;
+      break;
+    case Kind::kUpdate:
+      out = "UPDATE " + class_name;
+      break;
+    case Kind::kDelete:
+      out = "DELETE FROM " + class_name;
+      break;
+  }
+  for (size_t i = 0; i < sets.size(); ++i) {
+    out += i ? ", " : " SET ";
+    out += sets[i].first + " = " + sets[i].second->ToString();
+  }
+  if (where != nullptr) {
+    out += " WHERE " + where->ToString();
+  }
+  return out;
+}
+
 }  // namespace vql
 }  // namespace vodak

@@ -1,7 +1,9 @@
 #ifndef VODAK_VQL_AST_H_
 #define VODAK_VQL_AST_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "expr/expr.h"
@@ -58,6 +60,38 @@ struct BoundQuery {
   TypeRef access_type;
 
   std::string ToString() const;
+};
+
+/// Parsed write statement — the mutation path's surface syntax:
+///
+///   INSERT INTO Class SET prop = expr, ...
+///   UPDATE Class SET prop = expr, ... [WHERE pred]
+///   DELETE FROM Class [WHERE pred]
+///
+/// UPDATE set expressions and UPDATE/DELETE predicates see the implicit
+/// range variable `self`, bound to each candidate object in turn;
+/// INSERT set expressions are closed (no object exists yet).
+struct WriteStatement {
+  enum class Kind { kInsert, kUpdate, kDelete };
+  Kind kind = Kind::kInsert;
+  std::string class_name;
+  /// SET list in declaration order (empty for DELETE).
+  std::vector<std::pair<std::string, ExprRef>> sets;
+  ExprRef where;  // nullptr when absent; never set for INSERT
+
+  std::string ToString() const;
+};
+
+/// Binder output for a write statement: the class resolved, property
+/// names mapped to storage slots, set expressions and predicate
+/// type-checked (under `self : Oid<Class>` for UPDATE / DELETE).
+struct BoundWrite {
+  WriteStatement::Kind kind = WriteStatement::Kind::kInsert;
+  std::string class_name;
+  uint32_t class_id = 0;
+  /// slot -> bound value expression, SET-list order.
+  std::vector<std::pair<uint32_t, ExprRef>> sets;
+  ExprRef where;  // nullptr when absent
 };
 
 }  // namespace vql

@@ -340,5 +340,54 @@ Result<BoundQuery> Binder::Bind(
   return bound;
 }
 
+Result<BoundWrite> Binder::BindWrite(const WriteStatement& stmt) const {
+  const ClassDef* cls = catalog_->FindClass(stmt.class_name);
+  if (cls == nullptr) {
+    return Status::BindError("unknown class '" + stmt.class_name + "'");
+  }
+  BoundWrite bound;
+  bound.kind = stmt.kind;
+  bound.class_name = stmt.class_name;
+  bound.class_id = cls->class_id();
+  // INSERT has no target object yet; UPDATE/DELETE expressions see the
+  // candidate object as `self`.
+  std::map<std::string, TypeRef> scope;
+  if (stmt.kind != WriteStatement::Kind::kInsert) {
+    scope["self"] = Type::OidOf(stmt.class_name);
+  }
+  std::vector<bool> seen(cls->properties().size(), false);
+  for (const auto& [prop_name, value_expr] : stmt.sets) {
+    const PropertyDef* prop = cls->FindProperty(prop_name);
+    if (prop == nullptr) {
+      return Status::BindError("class '" + stmt.class_name +
+                               "' has no property '" + prop_name + "'");
+    }
+    if (seen[prop->slot]) {
+      return Status::BindError("property '" + prop_name +
+                               "' set twice in one statement");
+    }
+    seen[prop->slot] = true;
+    TypeRef value_type;
+    VODAK_ASSIGN_OR_RETURN(ExprRef bound_value,
+                           BindExpr(value_expr, scope, &value_type));
+    if (!prop->type->Accepts(*value_type)) {
+      return Status::TypeError("SET " + prop_name + ": expected " +
+                               prop->type->ToString() + ", got " +
+                               value_type->ToString());
+    }
+    bound.sets.emplace_back(prop->slot, std::move(bound_value));
+  }
+  if (stmt.where != nullptr) {
+    TypeRef where_type;
+    VODAK_ASSIGN_OR_RETURN(bound.where,
+                           BindExpr(stmt.where, scope, &where_type));
+    if (!Type::Bool()->Accepts(*where_type)) {
+      return Status::TypeError("WHERE condition must be boolean, got " +
+                               where_type->ToString());
+    }
+  }
+  return bound;
+}
+
 }  // namespace vql
 }  // namespace vodak

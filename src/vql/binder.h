@@ -36,6 +36,13 @@ class Binder {
                            const std::map<std::string, TypeRef>& scope,
                            TypeRef* out_type) const;
 
+  /// Binds a write statement: resolves the class, maps SET property
+  /// names to storage slots, and type-checks every SET expression and
+  /// the predicate. UPDATE set expressions and UPDATE/DELETE
+  /// predicates bind under `self : Oid<Class>`; INSERT sets bind in an
+  /// empty scope.
+  Result<BoundWrite> BindWrite(const WriteStatement& stmt) const;
+
  private:
   Result<TypeRef> InferLifted(const TypeRef& base, const std::string& name,
                               bool is_method,

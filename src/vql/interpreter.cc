@@ -8,6 +8,9 @@ Status Interpreter::Flush(const BoundQuery& query, const Options& options,
                           std::vector<Value>* out) const {
   exec::RowBatch& batch = pending->batch;
   if (batch.empty()) return Status::OK();
+  // Re-aim the const evaluator at the query's pinned snapshot (a free
+  // pointer copy): every property/method read below resolves there.
+  const ExprEvaluator ev = evaluator_.WithSnapshot(options.snapshot_epoch);
   if (options.row_mode) {
     // Independent-oracle path: per-row Eval/EvalPredicate only, no
     // shared code with the batched evaluators the executor uses.
@@ -19,10 +22,10 @@ Status Interpreter::Flush(const BoundQuery& query, const Options& options,
       }
       if (query.where != nullptr) {
         VODAK_ASSIGN_OR_RETURN(bool keep,
-                               evaluator_.EvalPredicate(query.where, env));
+                               ev.EvalPredicate(query.where, env));
         if (!keep) continue;
       }
-      VODAK_ASSIGN_OR_RETURN(Value v, evaluator_.Eval(query.access, env));
+      VODAK_ASSIGN_OR_RETURN(Value v, ev.Eval(query.access, env));
       out->push_back(std::move(v));
     }
     batch.Reset(pending->names.size());
@@ -32,7 +35,7 @@ Status Interpreter::Flush(const BoundQuery& query, const Options& options,
   if (query.where != nullptr) {
     std::vector<char> keep;
     VODAK_RETURN_IF_ERROR(
-        evaluator_.EvalPredicateBatch(query.where, env, &keep));
+        ev.EvalPredicateBatch(query.where, env, &keep));
     // Mark the survivors in the batch's selection vector instead of
     // compacting; the ACCESS expression below evaluates only the
     // selected rows through the selection view. An all-rejected batch
@@ -45,7 +48,7 @@ Status Interpreter::Flush(const BoundQuery& query, const Options& options,
   }
   if (env.active_rows() > 0) {
     VODAK_ASSIGN_OR_RETURN(ValueColumn values,
-                           evaluator_.EvalBatch(query.access, env));
+                           ev.EvalBatch(query.access, env));
     for (Value& v : values) out->push_back(std::move(v));
   }
   batch.Reset(pending->names.size());
@@ -85,7 +88,8 @@ Status Interpreter::RunRanges(const BoundQuery& query,
     return Status::OK();
   }
 
-  auto domain = evaluator_.Eval(range.domain, *env);
+  auto domain =
+      evaluator_.WithSnapshot(options.snapshot_epoch).Eval(range.domain, *env);
   if (!domain.ok()) return domain.status();
   if (domain.value().is_null()) return Status::OK();
   if (!domain.value().is_set()) {
@@ -173,8 +177,9 @@ Result<std::shared_ptr<const std::vector<Oid>>> Interpreter::ExtentFor(
   if (options.shared_scans != nullptr) {
     return options.shared_scans->SharedExtent(class_id);
   }
-  VODAK_ASSIGN_OR_RETURN(std::vector<Oid> extent,
-                         evaluator_.store()->Extent(class_id));
+  VODAK_ASSIGN_OR_RETURN(
+      std::vector<Oid> extent,
+      evaluator_.store()->Extent(class_id, options.snapshot_epoch));
   return std::make_shared<const std::vector<Oid>>(std::move(extent));
 }
 

@@ -54,6 +54,11 @@ class Interpreter {
     /// the caller; evaluation semantics are unchanged — row_mode with a
     /// manager installed is still the row-at-a-time oracle.
     exec::SharedScanManager* shared_scans = nullptr;
+    /// The epoch every store read resolves at — the query's pinned
+    /// snapshot. The kEpochLatest default reads live state, which is
+    /// only safe while no writer runs; Database::Submit and the oracle
+    /// replay in the MVCC stress harness always set it.
+    Epoch snapshot_epoch = kEpochLatest;
   };
 
   Interpreter(const Catalog* catalog, ObjectStore* store,

@@ -23,6 +23,11 @@ const std::map<std::string, TokenKind>& Keywords() {
       {"UNION", TokenKind::kUnion},
       {"INTERSECTION", TokenKind::kIntersection},
       {"DIFFERENCE", TokenKind::kDifference},
+      {"INSERT", TokenKind::kInsert},
+      {"INTO", TokenKind::kInto},
+      {"UPDATE", TokenKind::kUpdate},
+      {"DELETE", TokenKind::kDelete},
+      {"SET", TokenKind::kSet},
   };
   return kKeywords;
 }
@@ -78,6 +83,16 @@ const char* TokenKindName(TokenKind kind) {
       return "INTERSECTION";
     case TokenKind::kDifference:
       return "DIFFERENCE";
+    case TokenKind::kInsert:
+      return "INSERT";
+    case TokenKind::kInto:
+      return "INTO";
+    case TokenKind::kUpdate:
+      return "UPDATE";
+    case TokenKind::kDelete:
+      return "DELETE";
+    case TokenKind::kSet:
+      return "SET";
     case TokenKind::kLParen:
       return "(";
     case TokenKind::kRParen:
@@ -98,6 +113,8 @@ const char* TokenKindName(TokenKind kind) {
       return ".";
     case TokenKind::kArrow:
       return "->";
+    case TokenKind::kAssign:
+      return "=";
     case TokenKind::kEqEq:
       return "==";
     case TokenKind::kNotEq:
@@ -286,9 +303,10 @@ Result<std::vector<Token>> Lex(const std::string& source) {
           push(TokenKind::kEqEq, start);
           i += 2;
         } else {
-          return Status::ParseError("single '=' at offset " +
-                                    std::to_string(start) +
-                                    " (use '==')");
+          // Assignment in write-statement SET lists; the expression
+          // parser still rejects it where a comparison is meant.
+          push(TokenKind::kAssign, start);
+          ++i;
         }
         break;
       case '!':

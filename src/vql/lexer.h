@@ -31,6 +31,12 @@ enum class TokenKind {
   kUnion,
   kIntersection,
   kDifference,
+  // Write statements (the mutation path's surface syntax).
+  kInsert,
+  kInto,
+  kUpdate,
+  kDelete,
+  kSet,
   // Punctuation / operators.
   kLParen,
   kRParen,
@@ -42,6 +48,7 @@ enum class TokenKind {
   kColon,
   kDot,
   kArrow,  ///< ->
+  kAssign,  ///< single '=' (only valid in write-statement SET lists)
   kEqEq,
   kNotEq,
   kLt,

@@ -1,5 +1,7 @@
 #include "vql/parser.h"
 
+#include <cctype>
+
 #include "vql/lexer.h"
 
 namespace vodak {
@@ -54,6 +56,41 @@ class Parser {
     return e;
   }
 
+  ///   write := INSERT INTO IDENT set_list
+  ///          | UPDATE IDENT set_list (WHERE expr)?
+  ///          | DELETE FROM IDENT (WHERE expr)?
+  ///   set_list := SET IDENT '=' expr (',' IDENT '=' expr)*
+  Result<WriteStatement> ParseWrite() {
+    WriteStatement stmt;
+    if (Accept(TokenKind::kInsert)) {
+      stmt.kind = WriteStatement::Kind::kInsert;
+      VODAK_RETURN_IF_ERROR(Expect(TokenKind::kInto));
+      VODAK_ASSIGN_OR_RETURN(stmt.class_name, ExpectIdent());
+      VODAK_RETURN_IF_ERROR(ParseSetList(&stmt));
+    } else if (Accept(TokenKind::kUpdate)) {
+      stmt.kind = WriteStatement::Kind::kUpdate;
+      VODAK_ASSIGN_OR_RETURN(stmt.class_name, ExpectIdent());
+      VODAK_RETURN_IF_ERROR(ParseSetList(&stmt));
+      if (Accept(TokenKind::kWhere)) {
+        VODAK_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+      }
+    } else if (Accept(TokenKind::kDelete)) {
+      stmt.kind = WriteStatement::Kind::kDelete;
+      VODAK_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
+      VODAK_ASSIGN_OR_RETURN(stmt.class_name, ExpectIdent());
+      if (Accept(TokenKind::kWhere)) {
+        VODAK_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+      }
+    } else {
+      return Status::ParseError(
+          std::string("expected INSERT, UPDATE or DELETE but found ") +
+          TokenKindName(Peek().kind) + " at offset " +
+          std::to_string(Peek().offset));
+    }
+    VODAK_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return stmt;
+  }
+
  private:
   const Token& Peek() const { return tokens_[pos_]; }
   const Token& Advance() { return tokens_[pos_++]; }
@@ -85,6 +122,18 @@ class Parser {
                                 std::to_string(Peek().offset));
     }
     return Advance().text;
+  }
+
+  Status ParseSetList(WriteStatement* stmt) {
+    VODAK_RETURN_IF_ERROR(Expect(TokenKind::kSet));
+    for (;;) {
+      VODAK_ASSIGN_OR_RETURN(std::string prop, ExpectIdent());
+      VODAK_RETURN_IF_ERROR(Expect(TokenKind::kAssign));
+      VODAK_ASSIGN_OR_RETURN(ExprRef value, ParseExpr());
+      stmt->sets.emplace_back(std::move(prop), std::move(value));
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    return Status::OK();
   }
 
   Result<ExprRef> ParseExpr() { return ParseOr(); }
@@ -325,6 +374,24 @@ Result<ExprRef> ParseExpr(const std::string& source) {
   VODAK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
   Parser parser(std::move(tokens));
   return parser.ParseStandaloneExpr();
+}
+
+Result<WriteStatement> ParseWrite(const std::string& source) {
+  VODAK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseWrite();
+}
+
+bool IsWriteStatement(const std::string& source) {
+  size_t begin = source.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return false;
+  size_t end = begin;
+  while (end < source.size() &&
+         (std::isalpha(static_cast<unsigned char>(source[end])) != 0)) {
+    ++end;
+  }
+  const std::string word = source.substr(begin, end - begin);
+  return word == "INSERT" || word == "UPDATE" || word == "DELETE";
 }
 
 }  // namespace vql

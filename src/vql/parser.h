@@ -16,6 +16,17 @@ Result<Query> ParseQuery(const std::string& source);
 /// API to accept equivalences in VQL surface syntax, §4.2).
 Result<ExprRef> ParseExpr(const std::string& source);
 
+/// Parses a write statement:
+///   INSERT INTO Class SET prop = expr, ...
+///   UPDATE Class SET prop = expr, ... [WHERE pred]
+///   DELETE FROM Class [WHERE pred]
+Result<WriteStatement> ParseWrite(const std::string& source);
+
+/// True when `source`'s first word is a write-statement keyword
+/// (INSERT / UPDATE / DELETE). Cheap routing test — callers still get a
+/// full parse error from ParseWrite when the rest is malformed.
+bool IsWriteStatement(const std::string& source);
+
 }  // namespace vql
 }  // namespace vodak
 

@@ -56,7 +56,7 @@ Status ReadReceiverColumn(MethodCallContext& ctx, const ValueColumn& selves,
   locals.reserve(selves.size());
   for (const Value& self : selves) locals.push_back(self.AsOid().local);
   return ctx.store->GetPropertyColumn(first.class_id, def->slot, locals,
-                                      out);
+                                      out, ctx.snapshot_epoch);
 }
 
 }  // namespace
@@ -197,14 +197,15 @@ Status DocumentDb::RegisterMethods() {
                      const std::vector<Value>&) -> Result<Value> {
       VODAK_ASSIGN_OR_RETURN(
           Value sections, ReadPropertyByName(*ctx.catalog, *ctx.store,
-                                             self.AsOid(), "sections"));
+                                             self.AsOid(), "sections",
+                                             ctx.snapshot_epoch));
       std::vector<Value> out;
       if (sections.is_set()) {
         for (const Value& sec : sections.AsSet()) {
           VODAK_ASSIGN_OR_RETURN(
               Value paragraphs,
               ReadPropertyByName(*ctx.catalog, *ctx.store, sec.AsOid(),
-                                 "paragraphs"));
+                                 "paragraphs", ctx.snapshot_epoch));
           if (paragraphs.is_set()) {
             for (const Value& p : paragraphs.AsSet()) out.push_back(p);
           }
@@ -298,7 +299,8 @@ Status DocumentDb::RegisterMethods() {
       }
       VODAK_ASSIGN_OR_RETURN(
           Value content, ReadPropertyByName(*ctx.catalog, *ctx.store,
-                                            self.AsOid(), "content"));
+                                            self.AsOid(), "content",
+                                            ctx.snapshot_epoch));
       if (!content.is_string()) return Value::Bool(false);
       return Value::Bool(InvertedTextIndex::MatchesText(
           content.AsString(), args[0].AsString()));
@@ -383,7 +385,8 @@ Status DocumentDb::RegisterMethods() {
                      const std::vector<Value>&) -> Result<Value> {
       VODAK_ASSIGN_OR_RETURN(
           Value content, ReadPropertyByName(*ctx.catalog, *ctx.store,
-                                            self.AsOid(), "content"));
+                                            self.AsOid(), "content",
+                                            ctx.snapshot_epoch));
       if (!content.is_string()) return Value::Int(0);
       return Value::Int(static_cast<int64_t>(
           TokenizeWords(content.AsString()).size()));

@@ -16,6 +16,8 @@
 #include "vql/parser.h"
 #include "workload/document_db.h"
 
+#include "test_seed.h"
+
 namespace vodak {
 namespace exec {
 namespace {
@@ -199,7 +201,10 @@ std::string RandomQuery(std::mt19937* rng) {
 }
 
 TEST_F(ExecBatchTest, RandomizedQueriesRowBatchParity) {
-  std::mt19937 rng(20260726);
+  // Seeded from --seed= / VODAK_TEST_SEED (tests/test_seed.h); the
+  // fallback reproduces the historical fixed sweep.
+  std::mt19937 rng(static_cast<std::mt19937::result_type>(
+      vodak::testing::TestSeed()));
   for (int i = 0; i < 60; ++i) {
     std::string query = RandomQuery(&rng);
     SCOPED_TRACE("query #" + std::to_string(i) + ": " + query);
@@ -308,3 +313,8 @@ TEST_F(ExecBatchTest, ScanBatchesRespectDefaultBatchSize) {
 }  // namespace
 }  // namespace exec
 }  // namespace vodak
+
+int main(int argc, char** argv) {
+  return vodak::testing::RunAllTestsWithSeed(argc, argv,
+                                             /*fallback=*/20260726);
+}

@@ -209,7 +209,7 @@ TEST_F(ExecSharedScanTest, PropertyCacheFillsOnceThenServesFromSnapshot) {
 
   db_.ResetCounters();
   PropertyColumnCache cache(&db_.store());
-  cache.SeedLocals(paragraph_class_,
+  cache.SeedLocals(paragraph_class_, kEpochLatest,
                    std::make_shared<const std::vector<uint32_t>>(locals));
   std::vector<Value> first;
   ASSERT_TRUE(cache.ReadColumn(paragraph_class_, number->slot, locals, 0,
@@ -241,7 +241,7 @@ TEST_F(ExecSharedScanTest, PropertyCacheFallsBackOutsideTheSnapshot) {
   std::vector<uint32_t> all_locals;
   for (const Oid& oid : extent.value()) all_locals.push_back(oid.local);
   cache.SeedLocals(
-      paragraph_class_,
+      paragraph_class_, kEpochLatest,
       std::make_shared<const std::vector<uint32_t>>(all_locals));
   std::vector<uint32_t> warm = {all_locals.front()};
   std::vector<Value> out;

@@ -1,0 +1,66 @@
+// Seed plumbing for the randomized suites: every randomized test
+// binary prints the seed it ran with and accepts `--seed=N` (argv) or
+// `VODAK_TEST_SEED=N` (environment), so any failing run — local or a
+// CI sanitizer job — can be replayed bit-for-bit from its log.
+//
+// Usage: the test file defines its own main() (which beats gtest_main
+// at link time, since that library only provides main when the object
+// files don't):
+//
+//   int main(int argc, char** argv) {
+//     return vodak::testing::RunAllTestsWithSeed(argc, argv,
+//                                                /*fallback=*/20260726);
+//   }
+//
+// and draws randomness from vodak::testing::TestSeed().
+#ifndef VODAK_TESTS_TEST_SEED_H_
+#define VODAK_TESTS_TEST_SEED_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace vodak {
+namespace testing {
+
+/// The seed this run resolved; set once by RunAllTestsWithSeed before
+/// RUN_ALL_TESTS, read by test bodies.
+inline uint64_t& TestSeed() {
+  static uint64_t seed = 0;
+  return seed;
+}
+
+/// Resolution order: --seed=N beats VODAK_TEST_SEED beats `fallback`.
+/// The fallback is a fixed constant so unseeded runs stay
+/// deterministic; CI's time-derived leg passes the seed explicitly.
+inline uint64_t ResolveSeed(int argc, char** argv, uint64_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      return std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+  }
+  if (const char* env = std::getenv("VODAK_TEST_SEED")) {
+    if (*env != '\0') return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
+
+inline int RunAllTestsWithSeed(int argc, char** argv, uint64_t fallback) {
+  ::testing::InitGoogleTest(&argc, argv);
+  TestSeed() = ResolveSeed(argc, argv, fallback);
+  std::printf("[   SEED   ] %llu  (replay: --seed=%llu or "
+              "VODAK_TEST_SEED=%llu)\n",
+              static_cast<unsigned long long>(TestSeed()),
+              static_cast<unsigned long long>(TestSeed()),
+              static_cast<unsigned long long>(TestSeed()));
+  std::fflush(stdout);
+  return RUN_ALL_TESTS();
+}
+
+}  // namespace testing
+}  // namespace vodak
+
+#endif  // VODAK_TESTS_TEST_SEED_H_

@@ -42,9 +42,19 @@ TEST(LexerTest, StringAndNumberLiterals) {
 
 TEST(LexerTest, Errors) {
   EXPECT_FALSE(Lex("'unterminated").ok());
-  EXPECT_FALSE(Lex("a = b").ok());
   EXPECT_FALSE(Lex("a ! b").ok());
   EXPECT_FALSE(Lex("a # b").ok());
+}
+
+TEST(LexerTest, SingleEqualsIsAssign) {
+  // Since the write grammar, a lone '=' lexes as the SET-list
+  // assignment token; using it where a comparison is meant is now a
+  // *parse* error, not a lex error.
+  auto tokens = Lex("a = b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[1].kind, TokenKind::kAssign);
+  EXPECT_FALSE(ParseExpr("a = b").ok());
+  EXPECT_FALSE(ParseQuery("ACCESS p FROM p IN P WHERE p.x = 1").ok());
 }
 
 TEST(LexerTest, IsPrefixNotSpecial) {
@@ -290,6 +300,85 @@ TEST_F(BindRunTest, EmptyResultIsEmptySet) {
       "ACCESS d FROM d IN Document WHERE d.title == 'No Such Title'");
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result.value().AsSet().empty());
+}
+
+TEST(WriteParseTest, AllThreeKindsParse) {
+  auto ins = ParseWrite("INSERT INTO Section SET number = 7, title = 'x'");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_EQ(ins.value().kind, WriteStatement::Kind::kInsert);
+  EXPECT_EQ(ins.value().class_name, "Section");
+  ASSERT_EQ(ins.value().sets.size(), 2u);
+  EXPECT_EQ(ins.value().sets[0].first, "number");
+
+  auto upd = ParseWrite(
+      "UPDATE Section SET title = 'y' WHERE self.number == 7");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  EXPECT_EQ(upd.value().kind, WriteStatement::Kind::kUpdate);
+  ASSERT_NE(upd.value().where, nullptr);
+
+  auto del = ParseWrite("DELETE FROM Section WHERE self.number == 7");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(del.value().kind, WriteStatement::Kind::kDelete);
+  EXPECT_TRUE(del.value().sets.empty());
+}
+
+TEST(WriteParseTest, ToStringRoundTrips) {
+  const std::string text =
+      "UPDATE Section SET title = 'y' WHERE self.number == 7";
+  auto stmt = ParseWrite(text);
+  ASSERT_TRUE(stmt.ok());
+  auto again = ParseWrite(stmt.value().ToString());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(stmt.value().ToString(), again.value().ToString());
+}
+
+TEST(WriteParseTest, Errors) {
+  EXPECT_FALSE(ParseWrite("INSERT Section SET number = 1").ok());
+  EXPECT_FALSE(ParseWrite("DELETE Section").ok());
+  EXPECT_FALSE(ParseWrite("UPDATE Section SET number == 1").ok());
+  EXPECT_FALSE(ParseWrite("INSERT INTO Section").ok());
+  EXPECT_FALSE(ParseWrite("ACCESS p FROM p IN Paragraph").ok());
+  EXPECT_TRUE(IsWriteStatement("  UPDATE Section SET number = 1"));
+  EXPECT_FALSE(IsWriteStatement("ACCESS p FROM p IN Paragraph"));
+}
+
+TEST_F(BindRunTest, BindWriteResolvesSlotsAndSelf) {
+  auto stmt = ParseWrite(
+      "UPDATE Section SET title = 'renamed' WHERE self.number == 1");
+  ASSERT_TRUE(stmt.ok());
+  auto bound = binder_->BindWrite(stmt.value());
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound.value().kind, WriteStatement::Kind::kUpdate);
+  ASSERT_EQ(bound.value().sets.size(), 1u);
+  // "title" is Section's slot 1 (declared after "number").
+  EXPECT_EQ(bound.value().sets[0].first, 1u);
+}
+
+TEST_F(BindRunTest, BindWriteErrors) {
+  // Unknown class.
+  auto s1 = ParseWrite("INSERT INTO Nope SET x = 1");
+  ASSERT_TRUE(s1.ok());
+  EXPECT_FALSE(binder_->BindWrite(s1.value()).ok());
+  // Unknown property.
+  auto s2 = ParseWrite("INSERT INTO Section SET nope = 1");
+  ASSERT_TRUE(s2.ok());
+  EXPECT_FALSE(binder_->BindWrite(s2.value()).ok());
+  // Type mismatch.
+  auto s3 = ParseWrite("INSERT INTO Section SET number = 'oops'");
+  ASSERT_TRUE(s3.ok());
+  EXPECT_FALSE(binder_->BindWrite(s3.value()).ok());
+  // Property set twice.
+  auto s4 = ParseWrite("INSERT INTO Section SET number = 1, number = 2");
+  ASSERT_TRUE(s4.ok());
+  EXPECT_FALSE(binder_->BindWrite(s4.value()).ok());
+  // `self` only exists for UPDATE / DELETE.
+  auto s5 = ParseWrite("INSERT INTO Section SET number = self.number");
+  ASSERT_TRUE(s5.ok());
+  EXPECT_FALSE(binder_->BindWrite(s5.value()).ok());
+  // Non-boolean predicate.
+  auto s6 = ParseWrite("DELETE FROM Section WHERE self.number");
+  ASSERT_TRUE(s6.ok());
+  EXPECT_FALSE(binder_->BindWrite(s6.value()).ok());
 }
 
 }  // namespace
