@@ -1,0 +1,240 @@
+// Experiment X13: compiled (bytecode VM) vs interpreted (operator tree)
+// execution of a predicate-heavy fused chain — the workload compiled
+// query execution exists for: four stacked predicates over the same
+// stored property, the shape derived-predicate rewrites emit (bound
+// predicates are individually redundant at runtime but each is its own
+// Filter operator). The operator tree pays one virtual NextBatch
+// hand-off per operator per batch and re-reads the property column
+// from the store once per filter; the VM's compiler CSEs the property
+// hop into one register materialization, then runs the whole predicate
+// stack as typed compare loops inside a single fused dispatch per scan
+// batch.
+//
+// Wall clock alone is not the gate (CI is 1-core and noisy); the bench
+// also records the deterministic process-wide counters from
+// common/vm_stats.h and *fails itself* when the structural claims do
+// not hold on this run:
+//   - vm_dispatches < operator_handoffs on the same drain (fusion
+//     collapses the per-operator virtual calls), and
+//   - arena_allocations_steady == 0 (after the first drain warms the
+//     QueryArena, re-running the query allocates nothing per batch).
+// scripts/ci.sh --vm re-checks both out of BENCH_vm.json.
+//
+// Flags: --docs=N   corpus size in documents (default 8350 -> ~100k
+//                   paragraphs, 3 sections x 4 paragraphs)
+//        --reps=N   timed repetitions per mode (default 5)
+//        --json=PATH machine-readable results (BENCH_vm.json in CI)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "algebra/translate.h"
+#include "bench_util.h"
+#include "common/vm_stats.h"
+#include "exec/physical.h"
+#include "exec/vm.h"
+#include "vql/parser.h"
+
+namespace {
+
+using namespace vodak;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// One timed batch drain of `root`, counting active rows at the root.
+std::pair<double, size_t> DrainOnce(exec::PhysOperator* root) {
+  size_t rows = 0;
+  auto start = std::chrono::steady_clock::now();
+  VODAK_CHECK(root->Open().ok());
+  exec::RowBatch batch;
+  for (;;) {
+    auto more = root->NextBatch(&batch);
+    VODAK_CHECK(more.ok()) << more.status().ToString();
+    if (!more.value()) break;
+    rows += batch.active_rows();
+  }
+  root->Close();
+  return {MsSince(start), rows};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t docs = 8350;
+  int reps = 5;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--docs=", 7) == 0) {
+      docs = static_cast<uint32_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--docs=N] [--reps=N] [--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  workload::CorpusParams params;
+  params.num_documents = docs;
+  params.sections_per_document = 3;
+  params.paragraphs_per_section = 4;
+  params.words_per_paragraph = 8;  // keep corpus build cheap
+  params.vocabulary_size = 200;
+  const size_t num_paragraphs = static_cast<size_t>(docs) * 3 * 4;
+
+  std::printf("building corpus: %u documents, %zu paragraphs...\n", docs,
+              num_paragraphs);
+  workload::DocumentDb db;
+  VODAK_CHECK(db.Init().ok());
+  VODAK_CHECK(db.Populate(params).ok());
+
+  // The fused chain: five stacked predicates on p.number (0..3) —
+  // two derived bounds and a derived exclusion guard (satisfied by
+  // every row, as derived predicates typically are at runtime), then
+  // 75% / 50% cumulative survivors. Every predicate is a total-order
+  // compare of the same
+  // one-hop property against an INT constant, so the VM materializes
+  // p.number once (CSE temp register) and runs five typed compare
+  // loops; the tree re-fetches the property column per filter.
+  auto parse_expr = [](const char* text) {
+    auto e = vql::ParseExpr(text);
+    VODAK_CHECK(e.ok()) << e.status().ToString();
+    return e.value();
+  };
+  algebra::AlgebraContext ctx(&db.catalog());
+  auto get = ctx.Get("p", "Paragraph");
+  VODAK_CHECK(get.ok());
+  auto f1 = ctx.Select(parse_expr("p.number >= 0"), get.value());
+  VODAK_CHECK(f1.ok());
+  auto f2 = ctx.Select(parse_expr("p.number <= 3"), f1.value());
+  VODAK_CHECK(f2.ok());
+  auto f3 = ctx.Select(parse_expr("p.number >= 1"), f2.value());
+  VODAK_CHECK(f3.ok());
+  auto f4 = ctx.Select(parse_expr("p.number <= 2"), f3.value());
+  VODAK_CHECK(f4.ok());
+  auto f5 = ctx.Select(parse_expr("p.number != 99"), f4.value());
+  VODAK_CHECK(f5.ok());
+  const algebra::LogicalRef chain = f5.value();
+  const char* chain_desc =
+      "select p.number >= 0; select p.number <= 3; "
+      "select p.number >= 1; select p.number <= 2; "
+      "select p.number != 99";
+  exec::ExecContext exec_ctx =
+      exec::ExecContext{&db.catalog(), &db.store(), &db.methods()};
+
+  // Operator-tree drain with counted hand-offs.
+  auto tree = exec::BuildPhysical(chain, exec_ctx);
+  VODAK_CHECK(tree.ok()) << tree.status().ToString();
+  VmStats::Reset();
+  auto tree_warm = DrainOnce(tree.value().get());
+  const uint64_t operator_handoffs =
+      VmStats::operator_handoffs.load(std::memory_order_relaxed);
+
+  // VM compile (the cost model must choose it on its own — no force)
+  // plus a counted warm drain and a counted steady re-drain.
+  auto choice = exec::TryCompileVm(chain, exec_ctx, /*force=*/false);
+  VODAK_CHECK(choice.ok()) << choice.status().ToString();
+  VODAK_CHECK(choice.value().compiled)
+      << "cost model refused the fused chain: " << choice.value().annotation;
+  auto* vm = static_cast<exec::VmExec*>(choice.value().op.get());
+  std::printf("%s", choice.value().annotation.c_str());
+
+  VmStats::Reset();
+  auto vm_warm = DrainOnce(vm);
+  const uint64_t vm_dispatches =
+      VmStats::vm_dispatches.load(std::memory_order_relaxed);
+  const uint64_t vm_handoffs =
+      VmStats::operator_handoffs.load(std::memory_order_relaxed);
+  const uint64_t arena_warmup =
+      VmStats::arena_allocations.load(std::memory_order_relaxed);
+  auto vm_steady_probe = DrainOnce(vm);
+  const uint64_t arena_steady =
+      VmStats::arena_allocations.load(std::memory_order_relaxed) -
+      arena_warmup;
+  const uint64_t arena_bytes = vm->arena().RetainedBytes();
+
+  VODAK_CHECK(tree_warm.second == vm_warm.second &&
+              vm_warm.second == vm_steady_probe.second)
+      << "tree/vm cardinality mismatch: " << tree_warm.second << " vs "
+      << vm_warm.second << " vs " << vm_steady_probe.second;
+
+  double tree_ms = 0.0;
+  double vm_ms = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    tree_ms += DrainOnce(tree.value().get()).first;
+    vm_ms += DrainOnce(vm).first;
+  }
+  tree_ms /= reps;
+  vm_ms /= reps;
+
+  std::printf("workload: %s over %zu paragraphs, %zu hits\n", chain_desc,
+              num_paragraphs, tree_warm.second);
+  std::printf("operator tree (NextBatch): %8.2f ms  %6.2f Mrows/s\n",
+              tree_ms, num_paragraphs / tree_ms / 1000.0);
+  std::printf("bytecode VM   (fused):     %8.2f ms  %6.2f Mrows/s\n",
+              vm_ms, num_paragraphs / vm_ms / 1000.0);
+  std::printf("vm_vs_tree_speedup: %.2fx (hardware threads: %u)\n",
+              tree_ms / vm_ms, std::thread::hardware_concurrency());
+  std::printf(
+      "counters: %llu operator hand-offs -> %llu vm dispatches; arena "
+      "allocations %llu warm-up, %llu steady; %llu arena bytes retained\n",
+      static_cast<unsigned long long>(operator_handoffs),
+      static_cast<unsigned long long>(vm_dispatches),
+      static_cast<unsigned long long>(arena_warmup),
+      static_cast<unsigned long long>(arena_steady),
+      static_cast<unsigned long long>(arena_bytes));
+
+  // Deterministic structural gates — these fail the bench itself, not
+  // just a downstream JSON check, so any standalone run is a real test.
+  VODAK_CHECK(vm_dispatches > 0 && vm_dispatches < operator_handoffs)
+      << "fusion claim failed: " << vm_dispatches << " vm dispatches vs "
+      << operator_handoffs << " operator hand-offs";
+  VODAK_CHECK(vm_handoffs == 0)
+      << "vm drain passed through " << vm_handoffs << " tree hand-offs";
+  VODAK_CHECK(arena_steady == 0)
+      << "steady-state drain grew the arena " << arena_steady << " times";
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"vm\",\n");
+    std::fprintf(f, "  \"workload\": \"%s\",\n", chain_desc);
+    std::fprintf(f, "  \"docs\": %u,\n", docs);
+    std::fprintf(f, "  \"paragraphs\": %zu,\n", num_paragraphs);
+    std::fprintf(f, "  \"hits\": %zu,\n", tree_warm.second);
+    std::fprintf(f, "  \"reps\": %d,\n", reps);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"tree_ms\": %.3f,\n", tree_ms);
+    std::fprintf(f, "  \"vm_ms\": %.3f,\n", vm_ms);
+    std::fprintf(f, "  \"vm_vs_tree_speedup\": %.3f,\n", tree_ms / vm_ms);
+    std::fprintf(f, "  \"operator_handoffs_tree\": %llu,\n",
+                 static_cast<unsigned long long>(operator_handoffs));
+    std::fprintf(f, "  \"vm_dispatches\": %llu,\n",
+                 static_cast<unsigned long long>(vm_dispatches));
+    std::fprintf(f, "  \"arena_allocations_warmup\": %llu,\n",
+                 static_cast<unsigned long long>(arena_warmup));
+    std::fprintf(f, "  \"arena_allocations_steady\": %llu,\n",
+                 static_cast<unsigned long long>(arena_steady));
+    std::fprintf(f, "  \"arena_retained_bytes\": %llu\n",
+                 static_cast<unsigned long long>(arena_bytes));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -19,9 +19,16 @@
 # fixed seeds plus one time-derived seed (echoed into the log so any
 # failure replays with --seed=N).
 #
+# `--vm` runs the compiled-execution gate: the VM unit suite plus the
+# three-way differential fuzz harness (tests/vm_diff_test.cc — bytecode
+# VM vs operator tree vs row-mode oracle) under ThreadSanitizer with
+# seeds 1/2/3 plus a time-derived seed, then bench_vm's structural
+# counter gate out of BENCH_vm.json (fused dispatches strictly below
+# the tree's operator hand-offs; zero steady-state arena growth).
+#
 # Usage: scripts/ci.sh [--skip-bench] [--tsan|--asan|--ubsan]
 #                      [--lint] [--tidy] [--thread-safety] [--service]
-#                      [--mvcc] [--build-type=TYPE] [--build-dir=DIR]
+#                      [--mvcc] [--vm] [--build-type=TYPE] [--build-dir=DIR]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +41,7 @@ TIDY=0
 THREAD_SAFETY=0
 SERVICE=0
 MVCC=0
+VM=0
 for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
@@ -45,11 +53,12 @@ for arg in "$@"; do
     --thread-safety) THREAD_SAFETY=1 ;;
     --service) SERVICE=1 ;;
     --mvcc) MVCC=1 ;;
+    --vm) VM=1 ;;
     --build-type=*) BUILD_TYPE="${arg#*=}" ;;
     --build-dir=*) BUILD_DIR="${arg#*=}" ;;
     *) echo "usage: scripts/ci.sh [--skip-bench] [--tsan|--asan|--ubsan]" \
             "[--lint] [--tidy] [--thread-safety] [--service] [--mvcc]" \
-            "[--build-type=TYPE] [--build-dir=DIR]" >&2; exit 2 ;;
+            "[--vm] [--build-type=TYPE] [--build-dir=DIR]" >&2; exit 2 ;;
   esac
 done
 
@@ -127,9 +136,9 @@ if [[ -n "$SANITIZE" ]]; then
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
         --target exec_batch_test exec_parallel_test exec_selvec_test \
                  exec_shared_scan_test engine_submit_test service_test \
-                 mvcc_edge_test mvcc_stress_test
+                 mvcc_edge_test mvcc_stress_test vm_test vm_diff_test
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-        -R 'exec_batch_test|exec_parallel_test|exec_selvec_test|exec_shared_scan_test|engine_submit_test|service_test|mvcc_edge_test|mvcc_stress_test'
+        -R 'exec_batch_test|exec_parallel_test|exec_selvec_test|exec_shared_scan_test|engine_submit_test|service_test|mvcc_edge_test|mvcc_stress_test|vm_test|vm_diff_test'
   echo "== ci.sh ($SANITIZE): all green =="
   exit 0
 fi
@@ -156,6 +165,64 @@ if [[ "$MVCC" == "1" ]]; then
     "$BUILD_DIR"/mvcc_stress_test --seed="$seed"
   done
   echo "== ci.sh (mvcc): all green =="
+  exit 0
+fi
+
+# ------------------------------------------------------------------ --vm
+# The compiled-execution gate, in two halves. Correctness first: the
+# deterministic opcode/compiler units, then the three-way differential
+# fuzz harness (tests/vm_diff_test.cc — bytecode VM vs operator tree vs
+# row-mode oracle, >=1000 generated queries per seed, plus the
+# concurrent-writer run that replays the oracle at the reader's pinned
+# epoch) under ThreadSanitizer with three fixed seeds and one
+# time-derived seed (echoed so any failure replays with --seed=N).
+# Then performance, gated on deterministic counters rather than wall
+# clock (CI is 1-core): bench_vm self-checks and BENCH_vm.json must
+# show fusion collapsing the per-operator virtual hand-offs
+# (vm_dispatches strictly below operator_handoffs_tree) and a
+# steady-state drain that never grows the QueryArena
+# (arena_allocations_steady exactly zero).
+if [[ "$VM" == "1" ]]; then
+  : "${BUILD_DIR:=build-vm-tsan}"
+  echo "== vm: TSan build of the VM unit + differential suites =="
+  cmake -B "$BUILD_DIR" -S . -DVODAK_SANITIZE=thread \
+        ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} >/dev/null
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target vm_test vm_diff_test
+  echo "== vm: deterministic opcode + compiler units =="
+  "$BUILD_DIR"/vm_test
+  TIME_SEED="$(date +%s)"
+  echo "== vm: differential fuzz seeds 1 2 3 $TIME_SEED (time-derived) =="
+  for seed in 1 2 3 "$TIME_SEED"; do
+    echo "-- vm_diff_test --seed=$seed"
+    "$BUILD_DIR"/vm_diff_test --seed="$seed"
+  done
+  echo "== vm: bench_vm counter gate (plain build) =="
+  VM_BENCH_DIR=build
+  cmake -B "$VM_BENCH_DIR" -S . \
+        ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} >/dev/null
+  cmake --build "$VM_BENCH_DIR" -j"$(nproc)" --target bench_vm
+  "$VM_BENCH_DIR"/bench_vm --docs=800 --reps=2 --json=BENCH_vm.json
+  vm_field() { sed -n "s/^ *\"$1\": \([0-9][0-9]*\).*/\1/p" BENCH_vm.json; }
+  VM_DISPATCHES="$(vm_field vm_dispatches)"
+  VM_HANDOFFS="$(vm_field operator_handoffs_tree)"
+  VM_ARENA_STEADY="$(vm_field arena_allocations_steady)"
+  if [[ -z "$VM_DISPATCHES" || -z "$VM_HANDOFFS" || -z "$VM_ARENA_STEADY" ]]; then
+    echo "ci.sh: BENCH_vm.json is missing counter fields" >&2
+    exit 1
+  fi
+  if (( VM_DISPATCHES == 0 || VM_DISPATCHES >= VM_HANDOFFS )); then
+    echo "ci.sh: fused chain paid $VM_DISPATCHES vm dispatches," \
+         "not fewer than the operator tree's $VM_HANDOFFS hand-offs" >&2
+    exit 1
+  fi
+  if (( VM_ARENA_STEADY != 0 )); then
+    echo "ci.sh: steady-state drain grew the QueryArena" \
+         "$VM_ARENA_STEADY times (expected zero)" >&2
+    exit 1
+  fi
+  echo "vm gate: $VM_DISPATCHES vm dispatches vs $VM_HANDOFFS tree" \
+       "hand-offs, arena steady growth $VM_ARENA_STEADY -- ok"
+  echo "== ci.sh (vm): all green =="
   exit 0
 fi
 
@@ -272,6 +339,16 @@ if ! grep -q "^## Query service & admission control" docs/ARCHITECTURE.md; then
 fi
 if ! grep -q "BENCH_service.json" docs/BENCHMARKS.md; then
   echo "ci.sh: docs/BENCHMARKS.md does not document BENCH_service.json" >&2
+  exit 1
+fi
+# The compiled-execution chapter (opcode table, eligibility rule, arena
+# lifetime, epoch contract) and the bench_vm record documentation.
+if ! grep -q "^## Compiled execution" docs/ARCHITECTURE.md; then
+  echo "ci.sh: docs/ARCHITECTURE.md lost the 'Compiled execution' chapter" >&2
+  exit 1
+fi
+if ! grep -q "BENCH_vm.json" docs/BENCHMARKS.md; then
+  echo "ci.sh: docs/BENCHMARKS.md does not document BENCH_vm.json" >&2
   exit 1
 fi
 
@@ -410,6 +487,8 @@ for bench in "${BENCHES[@]}"; do
   # bench_service has its own flags and gate (ci.sh --service).
   [[ "$(basename "$bench")" == "bench_service" ]] && continue
   [[ "$(basename "$bench")" == "bench_mvcc" ]] && continue
+  # bench_vm has its own flags and gate (ci.sh --vm).
+  [[ "$(basename "$bench")" == "bench_vm" ]] && continue
   echo "-- $bench"
   "$bench" --benchmark_filter="$SMOKE_FILTER" --benchmark_min_time=0.01
 done

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "algebra/translate.h"
+#include "exec/vm.h"
 #include "vql/parser.h"
 
 namespace vodak {
@@ -135,6 +136,19 @@ Status Database::ExecuteSingle(const QueryRequest& request,
                                     result_ref, popts,
                                     std::move(pstate)));
   } else {
+    // Serial batch drains may lower the plan to the bytecode VM
+    // (exec/vm.h): the same ExecuteColumn drives either root, so the
+    // engine above cannot tell compiled from interpreted execution.
+    // Row mode stays on the tree — it is the independent oracle the VM
+    // is differentially tested against.
+    if (request.run.batch && request.run.vm != VmMode::kOff) {
+      VODAK_ASSIGN_OR_RETURN(
+          exec::VmChoice vm,
+          exec::TryCompileVm(result->chosen_plan, exec_ctx,
+                             request.run.vm == VmMode::kForce));
+      result->physical_explain += vm.annotation;
+      if (vm.compiled) root = std::move(vm.op);
+    }
     VODAK_ASSIGN_OR_RETURN(
         result->result,
         exec::ExecuteColumn(root.get(), result_ref,

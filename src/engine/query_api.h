@@ -32,6 +32,14 @@ struct PlanOptions {
   bool trace = false;
 };
 
+/// Compiled-execution choice for one query. kAuto lets the batch-aware
+/// cost model pick VM vs operator tree (the production default); kOff
+/// pins the operator tree (the differential baseline); kForce compiles
+/// every *eligible* plan regardless of cost (the differential subject —
+/// ineligible shapes still fall back to the tree). Row-mode and
+/// parallel drains never use the VM.
+enum class VmMode { kAuto, kOff, kForce };
+
 /// One query's execution knobs. Batch-level knobs (lanes, shared
 /// scans) live in SubmitOptions — they never made sense per query.
 struct RunOptions {
@@ -50,6 +58,10 @@ struct RunOptions {
   size_t threads = 1;
   /// Upper bound on rows per morsel in the parallel path.
   size_t morsel_size = exec::kDefaultMorselSize;
+  /// Compiled execution: whether the serial batch drain may lower the
+  /// plan to the bytecode VM (exec/vm.h). EXPLAIN reports the choice
+  /// either way as a `[vm: ...]` annotation.
+  VmMode vm = VmMode::kAuto;
 };
 
 /// Batch-level knobs of one Submit call.

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/vm_stats.h"
 #include "exec/morsel_source.h"
 #include "exec/row_hash.h"
 #include "exec/shared_scan.h"
@@ -27,6 +28,10 @@ int PhysOperator::RefIndex(const std::string& name) const {
 }
 
 Result<bool> PhysOperator::NextBatch(RowBatch* batch) {
+  // Every NextBatch entry — this adapter and the native overrides —
+  // counts one virtual batch hand-off, the per-operator cost the VM
+  // backend (exec/vm.h) fuses away; ci.sh --vm gates on the ratio.
+  VmStats::operator_handoffs.fetch_add(1, std::memory_order_relaxed);
   batch->Reset(refs_.size());
   Row row;
   while (batch->num_rows() < kDefaultBatchSize) {
@@ -365,6 +370,7 @@ class ScanOp : public PhysOperator {
     return true;
   }
   Result<bool> NextBatch(RowBatch* batch) override {
+    VmStats::operator_handoffs.fetch_add(1, std::memory_order_relaxed);
     // The executor's cancellation point: every pipeline drains through
     // its scan leaves (blocking join builds included), so one check per
     // leaf batch bounds cancel latency at ~a batch of rows everywhere.
@@ -423,6 +429,7 @@ class Filter : public PhysOperator {
     }
   }
   Result<bool> NextBatch(RowBatch* batch) override {
+    VmStats::operator_handoffs.fetch_add(1, std::memory_order_relaxed);
     // refs_ == child refs, so the child's batch is filtered in place:
     // the predicate is evaluated over the batch's selection view and
     // survivors are marked by intersecting the selection — no column
@@ -695,6 +702,7 @@ class HashJoin : public PhysOperator {
     }
   }
   Result<bool> NextBatch(RowBatch* batch) override {
+    VmStats::operator_handoffs.fetch_add(1, std::memory_order_relaxed);
     if (!built_) VODAK_RETURN_IF_ERROR(BuildTable(/*batch_mode=*/true));
     Row key;
     for (;;) {
@@ -807,6 +815,7 @@ class MapOp : public PhysOperator {
     return true;
   }
   Result<bool> NextBatch(RowBatch* batch) override {
+    VmStats::operator_handoffs.fetch_add(1, std::memory_order_relaxed);
     VODAK_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&child_batch_));
     if (!more) return false;
     const size_t n = child_batch_.num_rows();
@@ -917,6 +926,7 @@ class FlatOp : public PhysOperator {
     }
   }
   Result<bool> NextBatch(RowBatch* batch) override {
+    VmStats::operator_handoffs.fetch_add(1, std::memory_order_relaxed);
     for (;;) {
       VODAK_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&child_batch_));
       if (!more) return false;
@@ -1011,6 +1021,7 @@ class ProjectDedup : public PhysOperator {
     }
   }
   Result<bool> NextBatch(RowBatch* batch) override {
+    VmStats::operator_handoffs.fetch_add(1, std::memory_order_relaxed);
     Row projected;
     for (;;) {
       VODAK_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&child_batch_));
@@ -1292,6 +1303,37 @@ void CreateSharedJoinSlots(const LogicalRef& plan,
 Result<PhysOpPtr> BuildPhysical(const LogicalRef& plan,
                                 const ExecContext& ctx) {
   return BuildPhysicalImpl(plan, ctx, /*state=*/nullptr);
+}
+
+Result<BatchSourcePtr> MakeLeafBatchSource(const LogicalNode& leaf,
+                                           const ExecContext& ctx) {
+  switch (leaf.op()) {
+    case LogicalOp::kGet: {
+      const ClassDef* cls = ctx.catalog->FindClass(leaf.class_name());
+      if (cls == nullptr) {
+        return Status::PlanError("unknown class '" + leaf.class_name() +
+                                 "'");
+      }
+      if (ctx.shared_scans != nullptr) {
+        return BatchSourcePtr(std::make_unique<SharedBatchSource>(
+            ctx, leaf.class_name(), cls->class_id()));
+      }
+      return BatchSourcePtr(std::make_unique<ExtentBatchSource>(
+          ctx, leaf.class_name(), cls->class_id()));
+    }
+    case LogicalOp::kExprSource: {
+      if (ctx.shared_scans != nullptr) {
+        return BatchSourcePtr(
+            std::make_unique<SharedBatchSource>(ctx, leaf.expr()));
+      }
+      return BatchSourcePtr(
+          std::make_unique<ExprBatchSource>(ctx, leaf.expr()));
+    }
+    default:
+      return Status::PlanError("logical node '" +
+                               std::string(LogicalOpName(leaf.op())) +
+                               "' is not a scan leaf");
+  }
 }
 
 Result<PhysOpPtr> BuildPhysicalWorker(const LogicalRef& plan,

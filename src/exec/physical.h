@@ -146,6 +146,15 @@ struct ExecContext {
 Result<PhysOpPtr> BuildPhysical(const algebra::LogicalRef& plan,
                                 const ExecContext& ctx);
 
+/// Builds the private batch source for a scan leaf (kGet → extent
+/// cursor, kExprSource → method/expression scan), honoring the
+/// context's shared-scan attachment exactly like BuildPhysical's leaf
+/// construction. This is how the VM backend (exec/vm.h) obtains the
+/// same scan leaves the operator tree would read — same cursor kinds,
+/// same pinned snapshot epoch.
+Result<BatchSourcePtr> MakeLeafBatchSource(const algebra::LogicalNode& leaf,
+                                           const ExecContext& ctx);
+
 /// How a plan is drained: batch-at-a-time (default) or the
 /// row-at-a-time compatibility path.
 enum class ExecMode { kRow, kBatch };

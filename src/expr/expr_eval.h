@@ -135,6 +135,20 @@ class ExprEvaluator {
   static Result<Value> ApplyBinary(BinOp op, const Value& lhs,
                                    const Value& rhs);
 
+  /// True for the total-order comparison operators (==, !=, <, <=, >,
+  /// >=) — the operators whose evaluation reduces to Value::Compare,
+  /// never errors, and never yields NIL. These are the compares the
+  /// batch fast paths (EvalPredicateBatch's fused loop, the VM's
+  /// native kTest lowering) may evaluate eagerly without changing
+  /// masked short-circuit semantics.
+  static bool IsLowerableCompare(BinOp op);
+
+  /// Whether `lhs <op> rhs` holds under the engine's total order —
+  /// exactly ApplyBinary's semantics for the IsLowerableCompare subset
+  /// (both reduce to Value::Compare), exposed as a bool so fused
+  /// per-row loops skip Value boxing.
+  static bool CompareHolds(BinOp op, const Value& lhs, const Value& rhs);
+
  private:
   Result<Value> EvalProperty(const Value& base,
                              const std::string& prop) const;

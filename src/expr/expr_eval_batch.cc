@@ -458,12 +458,10 @@ Result<ValueColumn> ExprEvaluator::EvalBatch(const ExprRef& e,
   return Status::Internal("unreachable expression kind");
 }
 
-namespace {
-
 /// The six total-order comparisons. Deliberately narrower than
 /// IsComparisonOp, which also covers IS-IN / IS-SUBSET — those have
 /// set-membership semantics (and can error), not Compare semantics.
-bool IsOrderingOp(BinOp op) {
+bool ExprEvaluator::IsLowerableCompare(BinOp op) {
   switch (op) {
     case BinOp::kEq:
     case BinOp::kNe:
@@ -477,7 +475,8 @@ bool IsOrderingOp(BinOp op) {
   }
 }
 
-bool CompareHolds(BinOp op, const Value& lhs, const Value& rhs) {
+bool ExprEvaluator::CompareHolds(BinOp op, const Value& lhs,
+                                 const Value& rhs) {
   int c = Value::Compare(lhs, rhs);
   switch (op) {
     case BinOp::kEq:
@@ -495,8 +494,6 @@ bool CompareHolds(BinOp op, const Value& lhs, const Value& rhs) {
   }
 }
 
-}  // namespace
-
 Status ExprEvaluator::EvalPredicateBatch(const ExprRef& e,
                                          const BatchEnv& env,
                                          std::vector<char>* keep) const {
@@ -508,7 +505,8 @@ Status ExprEvaluator::EvalPredicateBatch(const ExprRef& e,
   // Under a selection view a bare-variable operand borrows the bound
   // *physical* column and is read through RowAt — a selection chain of
   // variable comparisons evaluates with zero value copies.
-  if (e->kind() == ExprKind::kBinary && IsOrderingOp(e->bin_op()) &&
+  if (e->kind() == ExprKind::kBinary &&
+      IsLowerableCompare(e->bin_op()) &&
       (e->lhs()->kind() == ExprKind::kConst ||
        e->rhs()->kind() == ExprKind::kConst)) {
     const bool const_lhs = e->lhs()->kind() == ExprKind::kConst;

@@ -366,6 +366,98 @@ TEST_F(ExecSelvecTest, BatchMethodBodiesOnlySeeSelectedRows) {
   EXPECT_EQ(result.value(), oracle.value());
 }
 
+TEST_F(ExecSelvecTest, SelectionViewAccessorsUnit) {
+  // Direct coverage of the selection-view accessors the VM and the
+  // operator tree both build on (ISSUE 9 satellite): install / export
+  // / transplant / clear, plus the row copy helpers.
+  RowBatch batch;
+  batch.Reset(2);
+  Row row = {Value::Int(1), Value::Int(10)};
+  batch.AppendRow(row);
+  batch.AppendRow({Value::Int(2), Value::Int(20)});
+  batch.AppendRow({Value::Int(3), Value::Int(30)});
+  EXPECT_EQ(batch.num_rows(), 3u);
+
+  // SetSelection installs a view without touching storage.
+  batch.SetSelection({0, 2});
+  EXPECT_TRUE(batch.has_selection());
+  EXPECT_EQ(batch.selection().size(), 2u);
+  EXPECT_EQ(batch.active_rows(), 2u);
+  EXPECT_EQ(batch.RowAt(1), 2u);
+  EXPECT_EQ(batch.num_rows(), 3u);
+
+  // ExportSelectionTo writes sel/sel_count into an env-shaped object.
+  struct FakeEnv {
+    const uint32_t* sel = nullptr;
+    size_t sel_count = 0;
+  } env;
+  batch.ExportSelectionTo(&env);
+  ASSERT_NE(env.sel, nullptr);
+  EXPECT_EQ(env.sel_count, 2u);
+  EXPECT_EQ(env.sel[1], 2u);
+
+  // CopyRowTo takes *physical* indices: live row 1 is physical row 2.
+  batch.CopyRowTo(batch.RowAt(1), &row);
+  EXPECT_EQ(row[0].AsInt(), 3);
+  EXPECT_EQ(row[1].AsInt(), 30);
+
+  // TakeSelection transplants the vector and reverts the donor dense.
+  std::vector<uint32_t> taken = batch.TakeSelection();
+  EXPECT_EQ(taken, (std::vector<uint32_t>{0, 2}));
+  EXPECT_FALSE(batch.has_selection());
+  EXPECT_EQ(batch.active_rows(), 3u);
+
+  // Dense batches export nothing.
+  FakeEnv dense_env;
+  batch.ExportSelectionTo(&dense_env);
+  EXPECT_EQ(dense_env.sel, nullptr);
+
+  // ClearSelection drops an installed view.
+  batch.SetSelection({1});
+  batch.ClearSelection();
+  EXPECT_FALSE(batch.has_selection());
+  EXPECT_EQ(batch.active_rows(), 3u);
+
+  // CompactRows == IntersectSelection + Compact in one step.
+  EXPECT_EQ(batch.CompactRows({0, 1, 1}), 2u);
+  EXPECT_FALSE(batch.has_selection());
+  EXPECT_EQ(batch.num_rows(), 2u);
+  EXPECT_EQ(batch.column(0)[0].AsInt(), 2);
+
+  // Reset drops rows and any selection but keeps the column count it
+  // was given (capacity retention is what the VM's steady-state
+  // zero-allocation claim stands on).
+  batch.SetSelection({0});
+  batch.Reset(2);
+  EXPECT_EQ(batch.num_columns(), 2u);
+  EXPECT_EQ(batch.num_rows(), 0u);
+  EXPECT_FALSE(batch.has_selection());
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST_F(ExecSelvecTest, NeverEmptyInvariantDirect) {
+  // The never-empty invariant is on *active* rows: stored rows with an
+  // empty selection count as empty (this is what makes a true
+  // NextBatch return mean "there is work").
+  RowBatch batch;
+  batch.Reset(1);
+  batch.column(0).assign(4, Value::Int(1));
+  batch.set_num_rows(4);
+  EXPECT_FALSE(batch.empty());
+  EXPECT_EQ(batch.IntersectSelection({0, 0, 0, 0}), 0u);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.num_rows(), 4u);  // storage untouched — only the view
+
+  // Every operator in a chain honors it: drain a plan whose middle
+  // batches are fully masked and assert no true return ever carries
+  // zero live rows (BatchDrainSorted checks per batch).
+  auto get = ctx_->Get("p", "Paragraph").value();
+  auto none = ctx_->Select(Parse("p.number == 99"), get).value();
+  EXPECT_TRUE(BatchDrainSorted(none, exec_ctx_).empty());
+  auto some = ctx_->Select(Parse("p.number == 2"), get).value();
+  EXPECT_EQ(BatchDrainSorted(some, exec_ctx_).size(), 8u * 2u);
+}
+
 }  // namespace
 }  // namespace exec
 }  // namespace vodak
