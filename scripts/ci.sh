@@ -26,9 +26,19 @@
 # counter gate out of BENCH_vm.json (fused dispatches strictly below
 # the tree's operator hand-offs; zero steady-state arena growth).
 #
+# `--storage` runs the paged-storage gate: the pager/zone-map unit
+# suite plus the segment differential harness (tests/segment_diff_test.cc
+# — segment-backed scans vs the in-memory extent vs the row-mode
+# oracle, across serial/parallel/VM drains and under concurrent
+# writers) under ThreadSanitizer, then bench_storage's structural
+# counter gate out of BENCH_storage.json (zone maps must skip segments
+# on the selective workload; the re-scan loop must hit the buffer
+# cache more than it misses).
+#
 # Usage: scripts/ci.sh [--skip-bench] [--tsan|--asan|--ubsan]
 #                      [--lint] [--tidy] [--thread-safety] [--service]
-#                      [--mvcc] [--vm] [--build-type=TYPE] [--build-dir=DIR]
+#                      [--mvcc] [--vm] [--storage]
+#                      [--build-type=TYPE] [--build-dir=DIR]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +52,7 @@ THREAD_SAFETY=0
 SERVICE=0
 MVCC=0
 VM=0
+STORAGE=0
 for arg in "$@"; do
   case "$arg" in
     --skip-bench) SKIP_BENCH=1 ;;
@@ -54,11 +65,13 @@ for arg in "$@"; do
     --service) SERVICE=1 ;;
     --mvcc) MVCC=1 ;;
     --vm) VM=1 ;;
+    --storage) STORAGE=1 ;;
     --build-type=*) BUILD_TYPE="${arg#*=}" ;;
     --build-dir=*) BUILD_DIR="${arg#*=}" ;;
     *) echo "usage: scripts/ci.sh [--skip-bench] [--tsan|--asan|--ubsan]" \
             "[--lint] [--tidy] [--thread-safety] [--service] [--mvcc]" \
-            "[--vm] [--build-type=TYPE] [--build-dir=DIR]" >&2; exit 2 ;;
+            "[--vm] [--storage] [--build-type=TYPE] [--build-dir=DIR]" >&2
+       exit 2 ;;
   esac
 done
 
@@ -136,9 +149,10 @@ if [[ -n "$SANITIZE" ]]; then
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
         --target exec_batch_test exec_parallel_test exec_selvec_test \
                  exec_shared_scan_test engine_submit_test service_test \
-                 mvcc_edge_test mvcc_stress_test vm_test vm_diff_test
+                 mvcc_edge_test mvcc_stress_test vm_test vm_diff_test \
+                 storage_test segment_diff_test
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-        -R 'exec_batch_test|exec_parallel_test|exec_selvec_test|exec_shared_scan_test|engine_submit_test|service_test|mvcc_edge_test|mvcc_stress_test|vm_test|vm_diff_test'
+        -R 'exec_batch_test|exec_parallel_test|exec_selvec_test|exec_shared_scan_test|engine_submit_test|service_test|mvcc_edge_test|mvcc_stress_test|vm_test|vm_diff_test|storage_test|segment_diff_test'
   echo "== ci.sh ($SANITIZE): all green =="
   exit 0
 fi
@@ -223,6 +237,71 @@ if [[ "$VM" == "1" ]]; then
   echo "vm gate: $VM_DISPATCHES vm dispatches vs $VM_HANDOFFS tree" \
        "hand-offs, arena steady growth $VM_ARENA_STEADY -- ok"
   echo "== ci.sh (vm): all green =="
+  exit 0
+fi
+
+# ------------------------------------------------------------- --storage
+# The paged-storage gate, in two halves. Correctness first: the
+# deterministic pager/serde/zone-map/segment-store units, then the
+# segment differential harness (tests/segment_diff_test.cc —
+# segment-backed scans vs the in-memory extent vs the row-mode oracle
+# across serial, morsel-parallel, shared-scan and VM drains, including
+# under concurrent Submit writers replayed at each reader's pinned
+# epoch) under ThreadSanitizer with three fixed seeds and one
+# time-derived seed (echoed so any failure replays with --seed=N).
+# Then performance, gated on deterministic counters rather than wall
+# clock (CI is 1-core): bench_storage self-checks and
+# BENCH_storage.json must show zone maps refuting segments on the
+# selective workload (segments_skipped strictly positive) and the
+# re-scan loop keeping the survivors resident in the deliberately
+# small buffer cache (cache_hits strictly above cache_misses).
+if [[ "$STORAGE" == "1" ]]; then
+  : "${BUILD_DIR:=build-storage-tsan}"
+  echo "== storage: TSan build of the storage unit + differential suites =="
+  cmake -B "$BUILD_DIR" -S . -DVODAK_SANITIZE=thread \
+        ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} >/dev/null
+  cmake --build "$BUILD_DIR" -j"$(nproc)" \
+        --target storage_test segment_diff_test
+  echo "== storage: deterministic pager + zone-map + segment units =="
+  "$BUILD_DIR"/storage_test
+  TIME_SEED="$(date +%s)"
+  echo "== storage: differential seeds 1 2 3 $TIME_SEED (time-derived) =="
+  for seed in 1 2 3 "$TIME_SEED"; do
+    echo "-- segment_diff_test --seed=$seed"
+    "$BUILD_DIR"/segment_diff_test --seed="$seed"
+  done
+  echo "== storage: bench_storage counter gate (plain build) =="
+  STORAGE_BENCH_DIR=build
+  cmake -B "$STORAGE_BENCH_DIR" -S . \
+        ${BUILD_TYPE:+-DCMAKE_BUILD_TYPE="$BUILD_TYPE"} >/dev/null
+  cmake --build "$STORAGE_BENCH_DIR" -j"$(nproc)" --target bench_storage
+  "$STORAGE_BENCH_DIR"/bench_storage --docs=20000 --reps=4 --queries=3 \
+                                     --cache-pages=16 \
+                                     --rows-per-segment=8192 \
+                                     --json=BENCH_storage.json
+  storage_field() { sed -n "s/^ *\"$1\": \([0-9][0-9]*\).*/\1/p" BENCH_storage.json; }
+  SEG_SCANNED="$(storage_field segments_scanned)"
+  SEG_SKIPPED="$(storage_field segments_skipped)"
+  CACHE_HITS="$(storage_field cache_hits)"
+  CACHE_MISSES="$(storage_field cache_misses)"
+  if [[ -z "$SEG_SCANNED" || -z "$SEG_SKIPPED" || \
+        -z "$CACHE_HITS" || -z "$CACHE_MISSES" ]]; then
+    echo "ci.sh: BENCH_storage.json is missing counter fields" >&2
+    exit 1
+  fi
+  if (( SEG_SKIPPED == 0 || SEG_SCANNED == 0 )); then
+    echo "ci.sh: selective workload scanned $SEG_SCANNED segments and" \
+         "skipped $SEG_SKIPPED -- zone maps refuted nothing" >&2
+    exit 1
+  fi
+  if (( CACHE_HITS <= CACHE_MISSES )); then
+    echo "ci.sh: re-scan loop hit the buffer cache $CACHE_HITS times vs" \
+         "$CACHE_MISSES misses -- survivors did not stay resident" >&2
+    exit 1
+  fi
+  echo "storage gate: $SEG_SCANNED segments scanned / $SEG_SKIPPED" \
+       "skipped, $CACHE_HITS cache hits vs $CACHE_MISSES misses -- ok"
+  echo "== ci.sh (storage): all green =="
   exit 0
 fi
 
@@ -349,6 +428,18 @@ if ! grep -q "^## Compiled execution" docs/ARCHITECTURE.md; then
 fi
 if ! grep -q "BENCH_vm.json" docs/BENCHMARKS.md; then
   echo "ci.sh: docs/BENCHMARKS.md does not document BENCH_vm.json" >&2
+  exit 1
+fi
+# The paged-storage chapter (page file format, zone-map pruning rule,
+# pin/epoch interaction with MVCC reclaim) and the bench_storage
+# record documentation.
+if ! grep -q "^## Paged storage & segment skipping" docs/ARCHITECTURE.md; then
+  echo "ci.sh: docs/ARCHITECTURE.md lost the 'Paged storage & segment" \
+       "skipping' chapter" >&2
+  exit 1
+fi
+if ! grep -q "BENCH_storage.json" docs/BENCHMARKS.md; then
+  echo "ci.sh: docs/BENCHMARKS.md does not document BENCH_storage.json" >&2
   exit 1
 fi
 
@@ -489,6 +580,8 @@ for bench in "${BENCHES[@]}"; do
   [[ "$(basename "$bench")" == "bench_mvcc" ]] && continue
   # bench_vm has its own flags and gate (ci.sh --vm).
   [[ "$(basename "$bench")" == "bench_vm" ]] && continue
+  # bench_storage has its own flags and gate (ci.sh --storage).
+  [[ "$(basename "$bench")" == "bench_storage" ]] && continue
   echo "-- $bench"
   "$bench" --benchmark_filter="$SMOKE_FILTER" --benchmark_min_time=0.01
 done

@@ -103,6 +103,7 @@ Status Database::ExecuteSingle(const QueryRequest& request,
   exec_ctx.cancel = request.cancel;
   exec_ctx.deadline = request.deadline;
   exec_ctx.snapshot_epoch = snapshot;
+  exec_ctx.segments = segments_;
   VODAK_ASSIGN_OR_RETURN(
       exec::PhysOpPtr root,
       exec::BuildPhysical(result->chosen_plan, exec_ctx));
@@ -222,6 +223,18 @@ Status Database::ExecuteWrite(const QueryRequest& request,
 
   auto apply_start = std::chrono::steady_clock::now();
   VODAK_ASSIGN_OR_RETURN(MutationResult applied, store_->Apply(mutations));
+  if (segments_ != nullptr) {
+    // Segment data predates this commit: close the touched classes'
+    // open versions at the commit epoch, so readers pinned below it
+    // keep the segment path while later snapshots fall back to the
+    // store until the class is re-ingested.
+    for (const Mutation& m : mutations) {
+      segments_->CloseVersions(m.kind == Mutation::Kind::kInsert
+                                   ? m.class_id
+                                   : m.oid.class_id,
+                               applied.epoch);
+    }
+  }
   stats->drain_ms = MsSince(apply_start);
   result->execute_ms = stats->drain_ms;
   // A write's "snapshot" is the epoch its batch committed as — the
@@ -239,6 +252,20 @@ Status Database::ExecuteWrite(const QueryRequest& request,
   } else {
     result->result =
         Value::Int(static_cast<int64_t>(applied.updated + applied.deleted));
+  }
+  return Status::OK();
+}
+
+Status Database::RefreshSegments() {
+  if (segments_ == nullptr) return Status::OK();
+  const Epoch at = store_->CurrentEpoch();
+  for (const auto& cls : catalog_->classes()) {
+    uint32_t slot_count = 0;
+    for (const PropertyDef& prop : cls->properties()) {
+      slot_count = std::max(slot_count, prop.slot + 1);
+    }
+    VODAK_RETURN_IF_ERROR(
+        segments_->IngestClass(*store_, cls->class_id(), slot_count, at));
   }
   return Status::OK();
 }
@@ -311,6 +338,7 @@ std::vector<QueryOutcome> Database::Submit(
 
   exec::ExecContext exec_ctx{catalog_, store_, methods_};
   exec_ctx.snapshot_epoch = pin.epoch();
+  exec_ctx.segments = segments_;
   // The EXPLAIN skeleton is the serial private-leaf tree, like the
   // morsel-parallel path's; the note below records how the leaves
   // actually executed. The workers rebuild their own (shared-leaf)
@@ -422,7 +450,7 @@ Result<std::vector<Value>> Database::RunNaiveConcurrent(
     options.snapshot_epoch = pin.epoch();
   }
   exec::SharedScanManager manager(store_, options.morsel_size,
-                                  options.snapshot_epoch);
+                                  options.snapshot_epoch, segments_);
   options.shared_scans = &manager;
   vql::Interpreter interpreter(catalog_, store_, methods_);
   std::vector<Value> out;

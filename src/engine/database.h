@@ -114,6 +114,26 @@ class Database {
   ObjectStore* store() const { return store_; }
   MethodRegistry* methods() const { return methods_; }
 
+  /// Attaches the paged segment store (docs/ARCHITECTURE.md §"Paged
+  /// storage & segment skipping"; not owned, outlives the session).
+  /// Read paths — serial, morsel-parallel, shared-scan and VM — then
+  /// prefer segment-backed scans whenever a SegmentVersion covers
+  /// their pinned snapshot, and every write commit through this
+  /// session closes the touched classes' open versions so stale
+  /// segments are never read. Writes that bypass the session (direct
+  /// store mutations) are invisible here: re-ingest before relying on
+  /// segment scans after such writes.
+  void AttachSegmentStore(storage::SegmentStore* segments) {
+    segments_ = segments;
+  }
+  storage::SegmentStore* segment_store() const { return segments_; }
+
+  /// (Re)ingests every catalog class into the attached segment store
+  /// at the current epoch — the bulk (re)load step after populating
+  /// the store or after a write burst closed the open versions.
+  /// No-op without an attached store.
+  Status RefreshSegments();
+
   /// The session's worker pool, created lazily (and regrown) to satisfy
   /// the largest thread count requested so far. Reused across queries so
   /// repeated parallel Runs don't pay thread spawn latency.
@@ -165,6 +185,7 @@ class Database {
   const Catalog* catalog_;
   ObjectStore* store_;
   MethodRegistry* methods_;
+  storage::SegmentStore* segments_ = nullptr;
   /// Serializes write requests across Submit calls: the predicate
   /// expansion scan in BuildMutations and the subsequent Apply must see
   /// no interleaved writer, or an UPDATE could target objects a

@@ -154,7 +154,7 @@ Result<std::vector<ConcurrentQueryOutcome>> ExecuteConcurrentOutcomes(
   // live exactly as long as the queries that attach to them, and
   // materialize at the batch's pinned snapshot.
   SharedScanManager manager(ctx.store, options.morsel_size,
-                            ctx.snapshot_epoch);
+                            ctx.snapshot_epoch, ctx.segments);
   ExecContext query_ctx = ctx;
   if (options.shared_scan) {
     query_ctx.shared_scans = &manager;

@@ -11,6 +11,7 @@
 #include "common/vm_stats.h"
 #include "exec/morsel_source.h"
 #include "exec/row_hash.h"
+#include "exec/sargable.h"
 #include "exec/shared_scan.h"
 
 namespace vodak {
@@ -126,6 +127,14 @@ class ParallelPlanState {
   ValueSet elements;         // kExprSource driving leaf
   MorselSource morsels;
   bool needs_final_dedup = false;
+  /// Segment pruning applied while materializing an extent driving
+  /// leaf from the paged segment store: `extent` holds only the rows
+  /// of the `seg_scanned` surviving segments; `seg_skipped` segments
+  /// were refuted by zone maps. Both 0 when the leaf came from the
+  /// in-memory store.
+  bool segment_backed = false;
+  size_t seg_scanned = 0;
+  size_t seg_skipped = 0;
   /// Pre-created entries for every join node in the plan (keyed by node
   /// identity), so worker-side plan construction never mutates the maps.
   std::map<const algebra::LogicalNode*, SharedJoinBuild> hash_builds;
@@ -167,6 +176,7 @@ class ExtentBatchSource : public BatchSource {
   void Close() override { extent_.clear(); }
   std::string name() const override { return "ExtentScan"; }
   std::string describe() const override { return class_name_; }
+  std::string annotation() const override { return "[source: extent]"; }
 
  private:
   ObjectStore* store_;
@@ -210,6 +220,7 @@ class ExprBatchSource : public BatchSource {
   void Close() override { elements_.clear(); }
   std::string name() const override { return "MethodScan"; }
   std::string describe() const override { return expr_->ToString(); }
+  std::string annotation() const override { return "[source: expr]"; }
 
  private:
   ExprEvaluator evaluator_;
@@ -247,6 +258,12 @@ class MorselBatchSource : public BatchSource {
   void Close() override {}
   std::string name() const override { return "MorselScan"; }
   std::string describe() const override { return source_desc_; }
+  std::string annotation() const override {
+    if (!state_->segment_backed) return "[source: morsel]";
+    return "[source: morsel] [segments: scanned " +
+           std::to_string(state_->seg_scanned) + " / skipped " +
+           std::to_string(state_->seg_skipped) + "]";
+  }
 
  private:
   bool ClaimMorsel() {
@@ -276,12 +293,18 @@ class MorselBatchSource : public BatchSource {
 /// manager.
 class SharedBatchSource : public BatchSource {
  public:
-  /// Extent form.
+  /// Extent form. `preds` are this query's sargable conjuncts over the
+  /// scan variable: when the manager materialized the ring from the
+  /// segment store, morsels whose merged zone maps refute them are
+  /// skipped — per consumer, since the ring is shared by queries with
+  /// different predicates.
   SharedBatchSource(const ExecContext& ctx, std::string class_name,
-                    uint32_t class_id)
+                    uint32_t class_id,
+                    std::vector<storage::SlotPredicate> preds)
       : manager_(ctx.shared_scans),
         class_name_(std::move(class_name)),
-        class_id_(class_id) {}
+        class_id_(class_id),
+        preds_(std::move(preds)) {}
   /// Method-scan form: `expr` is materialized (once per manager) via a
   /// private evaluator, exactly like ExprBatchSource::Open would.
   SharedBatchSource(const ExecContext& ctx, ExprRef expr)
@@ -306,11 +329,29 @@ class SharedBatchSource : public BatchSource {
     return Status::OK();
   }
   Result<bool> NextBatch(RowBatch* batch) override {
-    if (pos_ >= end_) {
+    while (pos_ >= end_) {
       Morsel morsel;
-      if (!consumer_.Next(&morsel)) {
+      size_t index = 0;
+      if (!consumer_.Next(&morsel, &index)) {
         batch->Reset(1);
         return false;
+      }
+      if (!preds_.empty()) {
+        // Segment-backed rings carry per-morsel merged zone maps; a
+        // refuted morsel is skipped without touching its rows. The
+        // skip is private to this consumer — other queries on the
+        // same ring have their own predicates.
+        const std::vector<storage::ZoneMap>* zones =
+            consumer_.scan().MorselZones(index);
+        if (zones != nullptr && storage::ZonesRefute(*zones, preds_)) {
+          if (manager_->segments() != nullptr) {
+            manager_->segments()->NotePruning(0, 1);
+          }
+          continue;
+        }
+        if (zones != nullptr && manager_->segments() != nullptr) {
+          manager_->segments()->NotePruning(1, 0);
+        }
       }
       pos_ = morsel.begin;
       end_ = morsel.end;
@@ -326,6 +367,7 @@ class SharedBatchSource : public BatchSource {
   std::string describe() const override {
     return expr_ != nullptr ? expr_->ToString() : class_name_;
   }
+  std::string annotation() const override { return "[source: shared]"; }
 
  private:
   SharedScanManager* manager_;
@@ -333,15 +375,92 @@ class SharedBatchSource : public BatchSource {
   ExprRef expr_;
   std::string class_name_;
   uint32_t class_id_ = 0;
+  std::vector<storage::SlotPredicate> preds_;
   SharedScanConsumer consumer_;
   size_t pos_ = 0;
   size_t end_ = 0;
 };
 
+/// Paged segment cursor: streams a class extent segment-by-segment
+/// through the pager's buffer cache, skipping segments whose zone maps
+/// refute the query's sargable predicates (docs/ARCHITECTURE.md
+/// §"Paged storage & segment skipping"). The survivor partition is
+/// computed at construction — EXPLAIN renders before Open, and the
+/// prospective counts are exactly what a drain will do — and the
+/// store's pruning totals (the cost model's survival-rate feedback)
+/// are bumped once here, not per batch or per re-Open.
+class SegmentBatchSource : public BatchSource {
+ public:
+  SegmentBatchSource(const ExecContext& ctx, std::string class_name,
+                     uint32_t class_id, storage::SegmentVersionRef version,
+                     std::vector<storage::SlotPredicate> preds)
+      : segments_(ctx.segments),
+        class_name_(std::move(class_name)),
+        class_id_(class_id),
+        version_(std::move(version)),
+        preds_(std::move(preds)) {
+    for (const storage::Segment& seg : version_->segments) {
+      if (storage::SegmentRefuted(seg, preds_)) {
+        ++skipped_;
+      } else {
+        survivors_.push_back(&seg);
+      }
+    }
+    segments_->NotePruning(survivors_.size(), skipped_);
+  }
+
+  Status Open() override {
+    next_segment_ = 0;
+    rows_.clear();
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> NextBatch(RowBatch* batch) override {
+    while (pos_ >= rows_.size()) {
+      if (next_segment_ >= survivors_.size()) {
+        batch->Reset(1);
+        return false;
+      }
+      // One segment's OID column resident at a time: the page-sized
+      // working set is what lets a scan run under a buffer cache far
+      // smaller than the class.
+      VODAK_ASSIGN_OR_RETURN(
+          rows_, segments_->ReadLocals(*survivors_[next_segment_++]));
+      pos_ = 0;
+    }
+    return FillScanBatch(batch, rows_.size(), &pos_, [this](size_t i) {
+             return Value::OfOid(Oid(class_id_, rows_[i]));
+           }) > 0;
+  }
+  void Close() override {
+    rows_.clear();
+    pos_ = 0;
+  }
+  std::string name() const override { return "SegmentScan"; }
+  std::string describe() const override { return class_name_; }
+  std::string annotation() const override {
+    return "[source: segment] [segments: scanned " +
+           std::to_string(survivors_.size()) + " / skipped " +
+           std::to_string(skipped_) + "]";
+  }
+
+ private:
+  const storage::SegmentStore* segments_;
+  std::string class_name_;
+  uint32_t class_id_;
+  storage::SegmentVersionRef version_;
+  std::vector<storage::SlotPredicate> preds_;
+  std::vector<const storage::Segment*> survivors_;
+  size_t skipped_ = 0;
+  size_t next_segment_ = 0;
+  std::vector<uint32_t> rows_;
+  size_t pos_ = 0;
+};
+
 /// The one leaf operator: a scan over an abstract BatchSource. Which
-/// cursor actually feeds it — private, morsel or shared — is decided at
-/// plan-build time; the EXPLAIN name comes from the source so plans
-/// read the same as before the refactor.
+/// cursor actually feeds it — private, morsel, shared or segment — is
+/// decided at plan-build time; the EXPLAIN name comes from the source
+/// so plans read the same as before the refactor.
 class ScanOp : public PhysOperator {
  public:
   ScanOp(const ExecContext& ctx, std::string ref, BatchSourcePtr source)
@@ -385,7 +504,8 @@ class ScanOp : public PhysOperator {
   }
   std::string name() const override { return source_->name(); }
   std::string params() const override {
-    return refs_[0] + " IN " + source_->describe();
+    return refs_[0] + " IN " + source_->describe() + " " +
+           source_->annotation();
   }
   const std::vector<const PhysOperator*> children() const override {
     return {};
@@ -1152,13 +1272,74 @@ class SetOp : public PhysOperator {
   bool left_done_ = false;
 };
 
+/// Sargable predicates visible at each scan leaf, keyed by leaf node
+/// identity: the kSelect conjuncts above the leaf on a pushdown-safe
+/// path, classified by exec/sargable.h against the leaf's scan
+/// variable. Pushing a single-variable compare below map/flat/project
+/// and to either side of join/natural-join/union is sound (a row the
+/// predicate refutes can only produce output rows the select above
+/// would drop); the right side of a difference is NOT — skipping rows
+/// there would *grow* the result — so it restarts with no pending
+/// predicates.
+using LeafPredMap =
+    std::map<const LogicalNode*, std::vector<storage::SlotPredicate>>;
+
+void CollectLeafPreds(const LogicalRef& plan, const Catalog& catalog,
+                      std::vector<ExprRef> pending, LeafPredMap* out) {
+  switch (plan->op()) {
+    case LogicalOp::kSelect:
+      pending.push_back(plan->expr());
+      CollectLeafPreds(plan->input(0), catalog, std::move(pending), out);
+      return;
+    case LogicalOp::kMap:
+    case LogicalOp::kFlat:
+    case LogicalOp::kProject:
+      CollectLeafPreds(plan->input(0), catalog, std::move(pending), out);
+      return;
+    case LogicalOp::kJoin:
+    case LogicalOp::kNaturalJoin:
+    case LogicalOp::kUnion:
+      CollectLeafPreds(plan->input(0), catalog, pending, out);
+      CollectLeafPreds(plan->input(1), catalog, std::move(pending), out);
+      return;
+    case LogicalOp::kDiff:
+      CollectLeafPreds(plan->input(0), catalog, std::move(pending), out);
+      CollectLeafPreds(plan->input(1), catalog, {}, out);
+      return;
+    case LogicalOp::kGet: {
+      const ClassDef* cls = catalog.FindClass(plan->class_name());
+      if (cls == nullptr) return;  // surfaced as PlanError at build
+      std::vector<storage::SlotPredicate>& preds = (*out)[plan.get()];
+      for (const ExprRef& cond : pending) {
+        std::vector<storage::SlotPredicate> got =
+            CollectSargablePredicates(cond, plan->ref(), *cls);
+        preds.insert(preds.end(), got.begin(), got.end());
+      }
+      return;
+    }
+    case LogicalOp::kExprSource:
+    case LogicalOp::kGroupRef:
+      return;
+  }
+}
+
+const std::vector<storage::SlotPredicate> kNoPreds;
+
+const std::vector<storage::SlotPredicate>& LeafPredsFor(
+    const LeafPredMap* map, const LogicalNode* leaf) {
+  if (map == nullptr) return kNoPreds;
+  auto it = map->find(leaf);
+  return it == map->end() ? kNoPreds : it->second;
+}
+
 /// Shared plan builder. With a null `state` this is the serial
 /// BuildPhysical; with a ParallelPlanState it builds one worker's clone:
 /// the driving leaf becomes a MorselScan over the shared cursor and
 /// joins attach to their pre-created shared build slots.
 Result<PhysOpPtr> BuildPhysicalImpl(const LogicalRef& plan,
                                     const ExecContext& ctx,
-                                    ParallelPlanState* state) {
+                                    ParallelPlanState* state,
+                                    const LeafPredMap* leaf_preds) {
   switch (plan->op()) {
     case LogicalOp::kGet: {
       const ClassDef* cls = ctx.catalog->FindClass(plan->class_name());
@@ -1166,16 +1347,29 @@ Result<PhysOpPtr> BuildPhysicalImpl(const LogicalRef& plan,
         return Status::PlanError("unknown class '" + plan->class_name() +
                                  "'");
       }
+      const std::vector<storage::SlotPredicate>& preds =
+          LeafPredsFor(leaf_preds, plan.get());
       BatchSourcePtr source;
       if (state != nullptr && plan.get() == state->driving_leaf) {
         source = std::make_unique<MorselBatchSource>(plan->class_name(),
                                                      state);
       } else if (ctx.shared_scans != nullptr) {
         source = std::make_unique<SharedBatchSource>(
-            ctx, plan->class_name(), cls->class_id());
+            ctx, plan->class_name(), cls->class_id(), preds);
       } else {
-        source = std::make_unique<ExtentBatchSource>(
-            ctx, plan->class_name(), cls->class_id());
+        storage::SegmentVersionRef version =
+            ctx.segments == nullptr
+                ? nullptr
+                : ctx.segments->VersionAt(cls->class_id(),
+                                          ctx.snapshot_epoch);
+        if (version != nullptr) {
+          source = std::make_unique<SegmentBatchSource>(
+              ctx, plan->class_name(), cls->class_id(), std::move(version),
+              preds);
+        } else {
+          source = std::make_unique<ExtentBatchSource>(
+              ctx, plan->class_name(), cls->class_id());
+        }
       }
       return PhysOpPtr(new ScanOp(ctx, plan->ref(), std::move(source)));
     }
@@ -1192,15 +1386,18 @@ Result<PhysOpPtr> BuildPhysicalImpl(const LogicalRef& plan,
       return PhysOpPtr(new ScanOp(ctx, plan->ref(), std::move(source)));
     }
     case LogicalOp::kSelect: {
-      VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,
-                             BuildPhysicalImpl(plan->input(0), ctx, state));
+      VODAK_ASSIGN_OR_RETURN(
+          PhysOpPtr child,
+          BuildPhysicalImpl(plan->input(0), ctx, state, leaf_preds));
       return PhysOpPtr(new Filter(ctx, std::move(child), plan->expr()));
     }
     case LogicalOp::kJoin: {
-      VODAK_ASSIGN_OR_RETURN(PhysOpPtr left,
-                             BuildPhysicalImpl(plan->input(0), ctx, state));
-      VODAK_ASSIGN_OR_RETURN(PhysOpPtr right,
-                             BuildPhysicalImpl(plan->input(1), ctx, state));
+      VODAK_ASSIGN_OR_RETURN(
+          PhysOpPtr left,
+          BuildPhysicalImpl(plan->input(0), ctx, state, leaf_preds));
+      VODAK_ASSIGN_OR_RETURN(
+          PhysOpPtr right,
+          BuildPhysicalImpl(plan->input(1), ctx, state, leaf_preds));
       const ExprRef& cond = plan->expr();
       // Bare-variable equality spanning both sides → hash join (the
       // deterministic algorithm choice shared with the cost model).
@@ -1225,9 +1422,9 @@ Result<PhysOpPtr> BuildPhysicalImpl(const LogicalRef& plan,
     }
     case LogicalOp::kNaturalJoin: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr left,
-                             BuildPhysicalImpl(plan->input(0), ctx, state));
+                             BuildPhysicalImpl(plan->input(0), ctx, state, leaf_preds));
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr right,
-                             BuildPhysicalImpl(plan->input(1), ctx, state));
+                             BuildPhysicalImpl(plan->input(1), ctx, state, leaf_preds));
       std::vector<std::string> shared;
       for (const auto& [ref, type] : plan->input(0)->schema()) {
         if (plan->input(1)->HasRef(ref)) shared.push_back(ref);
@@ -1240,28 +1437,28 @@ Result<PhysOpPtr> BuildPhysicalImpl(const LogicalRef& plan,
     case LogicalOp::kUnion:
     case LogicalOp::kDiff: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr left,
-                             BuildPhysicalImpl(plan->input(0), ctx, state));
+                             BuildPhysicalImpl(plan->input(0), ctx, state, leaf_preds));
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr right,
-                             BuildPhysicalImpl(plan->input(1), ctx, state));
+                             BuildPhysicalImpl(plan->input(1), ctx, state, leaf_preds));
       return PhysOpPtr(new SetOp(std::move(left), std::move(right),
                                  plan->op() == LogicalOp::kUnion,
                                  RefsOf(plan)));
     }
     case LogicalOp::kMap: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,
-                             BuildPhysicalImpl(plan->input(0), ctx, state));
+                             BuildPhysicalImpl(plan->input(0), ctx, state, leaf_preds));
       return PhysOpPtr(new MapOp(ctx, std::move(child), plan->ref(),
                                  plan->expr(), RefsOf(plan)));
     }
     case LogicalOp::kFlat: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,
-                             BuildPhysicalImpl(plan->input(0), ctx, state));
+                             BuildPhysicalImpl(plan->input(0), ctx, state, leaf_preds));
       return PhysOpPtr(new FlatOp(ctx, std::move(child), plan->ref(),
                                   plan->expr(), RefsOf(plan)));
     }
     case LogicalOp::kProject: {
       VODAK_ASSIGN_OR_RETURN(PhysOpPtr child,
-                             BuildPhysicalImpl(plan->input(0), ctx, state));
+                             BuildPhysicalImpl(plan->input(0), ctx, state, leaf_preds));
       return PhysOpPtr(
           new ProjectDedup(std::move(child), plan->projection()));
     }
@@ -1302,11 +1499,21 @@ void CreateSharedJoinSlots(const LogicalRef& plan,
 
 Result<PhysOpPtr> BuildPhysical(const LogicalRef& plan,
                                 const ExecContext& ctx) {
-  return BuildPhysicalImpl(plan, ctx, /*state=*/nullptr);
+  LeafPredMap leaf_preds;
+  CollectLeafPreds(plan, *ctx.catalog, {}, &leaf_preds);
+  return BuildPhysicalImpl(plan, ctx, /*state=*/nullptr, &leaf_preds);
 }
 
 Result<BatchSourcePtr> MakeLeafBatchSource(const LogicalNode& leaf,
                                            const ExecContext& ctx) {
+  return MakeLeafBatchSource(leaf, ctx, /*preds=*/nullptr);
+}
+
+Result<BatchSourcePtr> MakeLeafBatchSource(
+    const LogicalNode& leaf, const ExecContext& ctx,
+    const std::vector<storage::SlotPredicate>* preds) {
+  const std::vector<storage::SlotPredicate>& leaf_preds =
+      preds == nullptr ? kNoPreds : *preds;
   switch (leaf.op()) {
     case LogicalOp::kGet: {
       const ClassDef* cls = ctx.catalog->FindClass(leaf.class_name());
@@ -1316,7 +1523,17 @@ Result<BatchSourcePtr> MakeLeafBatchSource(const LogicalNode& leaf,
       }
       if (ctx.shared_scans != nullptr) {
         return BatchSourcePtr(std::make_unique<SharedBatchSource>(
-            ctx, leaf.class_name(), cls->class_id()));
+            ctx, leaf.class_name(), cls->class_id(), leaf_preds));
+      }
+      storage::SegmentVersionRef version =
+          ctx.segments == nullptr
+              ? nullptr
+              : ctx.segments->VersionAt(cls->class_id(),
+                                        ctx.snapshot_epoch);
+      if (version != nullptr) {
+        return BatchSourcePtr(std::make_unique<SegmentBatchSource>(
+            ctx, leaf.class_name(), cls->class_id(), std::move(version),
+            leaf_preds));
       }
       return BatchSourcePtr(std::make_unique<ExtentBatchSource>(
           ctx, leaf.class_name(), cls->class_id()));
@@ -1342,7 +1559,9 @@ Result<PhysOpPtr> BuildPhysicalWorker(const LogicalRef& plan,
   if (state == nullptr) {
     return Status::Internal("BuildPhysicalWorker without plan state");
   }
-  return BuildPhysicalImpl(plan, ctx, state.get());
+  LeafPredMap leaf_preds;
+  CollectLeafPreds(plan, *ctx.catalog, {}, &leaf_preds);
+  return BuildPhysicalImpl(plan, ctx, state.get(), &leaf_preds);
 }
 
 Result<ParallelPlanStatePtr> PrepareParallelPlan(const LogicalRef& plan,
@@ -1393,9 +1612,38 @@ Result<ParallelPlanStatePtr> PrepareParallelPlan(const LogicalRef& plan,
       return Status::PlanError("unknown class '" + node->class_name() +
                                "'");
     }
-    VODAK_ASSIGN_OR_RETURN(state->extent,
-                           ctx.store->Extent(cls->class_id(),
-                                             ctx.snapshot_epoch));
+    const storage::SegmentVersionRef version =
+        ctx.segments == nullptr
+            ? nullptr
+            : ctx.segments->VersionAt(cls->class_id(), ctx.snapshot_epoch);
+    if (version != nullptr) {
+      // Segment-backed: zone-map pruning happens here, before the
+      // morsel cursor is sized, so refuted segments never become
+      // morsels and every worker clone shares the savings.
+      LeafPredMap leaf_preds;
+      CollectLeafPreds(plan, *ctx.catalog, {}, &leaf_preds);
+      const std::vector<storage::SlotPredicate>& preds =
+          LeafPredsFor(&leaf_preds, node);
+      state->segment_backed = true;
+      state->extent.reserve(version->total_rows);
+      for (const storage::Segment& seg : version->segments) {
+        if (storage::SegmentRefuted(seg, preds)) {
+          ++state->seg_skipped;
+          continue;
+        }
+        ++state->seg_scanned;
+        VODAK_ASSIGN_OR_RETURN(std::vector<uint32_t> locals,
+                               ctx.segments->ReadLocals(seg));
+        for (uint32_t local : locals) {
+          state->extent.push_back(Oid(cls->class_id(), local));
+        }
+      }
+      ctx.segments->NotePruning(state->seg_scanned, state->seg_skipped);
+    } else {
+      VODAK_ASSIGN_OR_RETURN(state->extent,
+                             ctx.store->Extent(cls->class_id(),
+                                               ctx.snapshot_epoch));
+    }
     state->leaf_is_extent = true;
   } else {
     ExprEvaluator evaluator(ctx.catalog, ctx.store, ctx.methods,

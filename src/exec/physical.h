@@ -18,6 +18,7 @@
 #include "exec/cancellation.h"
 #include "exec/row_batch.h"
 #include "expr/expr_eval.h"
+#include "storage/segment_store.h"
 
 namespace vodak {
 
@@ -93,9 +94,14 @@ class BatchSource {
   virtual void Close() = 0;
 
   /// EXPLAIN operator name ("ExtentScan", "MethodScan", "MorselScan",
-  /// "SharedScan") and source description (class or expression).
+  /// "SharedScan", "SegmentScan") and source description (class or
+  /// expression).
   virtual std::string name() const = 0;
   virtual std::string describe() const = 0;
+  /// Uniform EXPLAIN source annotation, appended to the leaf operator's
+  /// params: every source kind prints `[source: <kind>]`, and
+  /// segment-pruned kinds add `[segments: scanned S / skipped K]`.
+  virtual std::string annotation() const = 0;
 };
 
 using BatchSourcePtr = std::unique_ptr<BatchSource>;
@@ -136,6 +142,14 @@ struct ExecContext {
   /// batches commit. kEpochLatest (the default) resolves per store
   /// call; only read-only paths may leave it.
   Epoch snapshot_epoch = kEpochLatest;
+  /// Paged segment store (docs/ARCHITECTURE.md §"Paged storage &
+  /// segment skipping"). When set and a scan leaf's class has a
+  /// SegmentVersion visible at snapshot_epoch, the leaf streams the
+  /// extent segment-by-segment through the pager's buffer cache and
+  /// skips segments whose zone maps refute the query's sargable
+  /// predicates. Null — the default — keeps every leaf on the
+  /// in-memory extent paths.
+  const storage::SegmentStore* segments = nullptr;
 };
 
 /// Compiles a logical plan into a physical operator tree. Algorithm
@@ -154,6 +168,14 @@ Result<PhysOpPtr> BuildPhysical(const algebra::LogicalRef& plan,
 /// same pinned snapshot epoch.
 Result<BatchSourcePtr> MakeLeafBatchSource(const algebra::LogicalNode& leaf,
                                            const ExecContext& ctx);
+
+/// As above, with the query's sargable predicates over this leaf's scan
+/// variable (normalized `col op const` conjuncts, extracted by
+/// exec/sargable.h) so a segment-backed source can zone-map-skip.
+/// `preds` may be null or empty; non-segment sources ignore it.
+Result<BatchSourcePtr> MakeLeafBatchSource(
+    const algebra::LogicalNode& leaf, const ExecContext& ctx,
+    const std::vector<storage::SlotPredicate>* preds);
 
 /// How a plan is drained: batch-at-a-time (default) or the
 /// row-at-a-time compatibility path.

@@ -1,0 +1,74 @@
+#include "exec/sargable.h"
+
+#include "expr/expr_eval.h"
+
+namespace vodak {
+namespace exec {
+
+std::optional<SargableCompare> ClassifySargableCompare(const ExprRef& e) {
+  if (e->kind() != ExprKind::kBinary) return std::nullopt;
+  if (!ExprEvaluator::IsLowerableCompare(e->bin_op())) return std::nullopt;
+  const bool const_lhs = e->lhs()->kind() == ExprKind::kConst;
+  const bool const_rhs = e->rhs()->kind() == ExprKind::kConst;
+  if (const_lhs == const_rhs) return std::nullopt;  // need exactly one
+  SargableCompare out;
+  out.operand = const_lhs ? e->rhs() : e->lhs();
+  out.constant = const_lhs ? e->lhs() : e->rhs();
+  out.op = e->bin_op();
+  out.const_lhs = const_lhs;
+  return out;
+}
+
+BinOp NormalizeCompareToLhs(BinOp op, bool const_lhs) {
+  if (!const_lhs) return op;
+  switch (op) {
+    case BinOp::kLt:
+      return BinOp::kGt;
+    case BinOp::kLe:
+      return BinOp::kGe;
+    case BinOp::kGt:
+      return BinOp::kLt;
+    case BinOp::kGe:
+      return BinOp::kLe;
+    default:
+      return op;  // kEq / kNe are symmetric
+  }
+}
+
+namespace {
+
+void CollectRec(const ExprRef& cond, const std::string& scan_ref,
+                const ClassDef& cls,
+                std::vector<storage::SlotPredicate>* out) {
+  if (cond->kind() == ExprKind::kBinary && cond->bin_op() == BinOp::kAnd) {
+    CollectRec(cond->lhs(), scan_ref, cls, out);
+    CollectRec(cond->rhs(), scan_ref, cls, out);
+    return;
+  }
+  std::optional<SargableCompare> cmp = ClassifySargableCompare(cond);
+  if (!cmp) return;
+  // Zone maps cover one property hop off the scan variable; anything
+  // else (bare vars, deeper paths, method results) stays unpruned.
+  if (cmp->operand->kind() != ExprKind::kProperty) return;
+  if (cmp->operand->base()->kind() != ExprKind::kVar) return;
+  if (cmp->operand->base()->var_name() != scan_ref) return;
+  const PropertyDef* prop = cls.FindProperty(cmp->operand->name());
+  if (prop == nullptr) return;
+  storage::SlotPredicate pred;
+  pred.slot = prop->slot;
+  pred.op = NormalizeCompareToLhs(cmp->op, cmp->const_lhs);
+  pred.constant = cmp->constant->value();
+  out->push_back(std::move(pred));
+}
+
+}  // namespace
+
+std::vector<storage::SlotPredicate> CollectSargablePredicates(
+    const ExprRef& cond, const std::string& scan_ref, const ClassDef& cls) {
+  std::vector<storage::SlotPredicate> preds;
+  CollectRec(cond, scan_ref, cls, &preds);
+  return preds;
+}
+
+}  // namespace exec
+}  // namespace vodak

@@ -20,6 +20,53 @@ void SharedScan::InitElements(ValueSet elements, size_t morsel_size) {
   morsel_count_ = (total_ + morsel_size_ - 1) / morsel_size_;
 }
 
+namespace {
+
+// Per-morsel zone maps for a segment-backed ring: morsel boundaries are
+// fixed by the ring (morsel_size), segment boundaries by the ingester
+// (rows_per_segment), so a morsel's bounds are the merge of the zones
+// of every segment overlapping its row range. Merging widens (min of
+// mins / max of maxes under Value::Compare), which keeps the pruning
+// rule sound: a morsel's merged zone bounds every row the morsel holds.
+std::vector<std::vector<storage::ZoneMap>> MorselZonesFor(
+    const storage::SegmentVersion& version, const SharedScan& scan) {
+  std::vector<std::vector<storage::ZoneMap>> zones(scan.morsel_count());
+  for (size_t m = 0; m < scan.morsel_count(); ++m) {
+    const Morsel morsel = scan.MorselAt(m);
+    std::vector<storage::ZoneMap> merged;
+    bool first_overlap = true;
+    for (const storage::Segment& seg : version.segments) {
+      const size_t seg_begin = seg.first_row;
+      const size_t seg_end = seg.first_row + seg.row_count;
+      if (seg_end <= morsel.begin || seg_begin >= morsel.end) continue;
+      if (first_overlap) {
+        merged = seg.zones;
+        first_overlap = false;
+        continue;
+      }
+      // A slot tracked in one overlapping segment but not another has
+      // no morsel-wide bound: invalid poisons the merge.
+      if (seg.zones.size() < merged.size()) merged.resize(seg.zones.size());
+      for (size_t s = 0; s < merged.size(); ++s) {
+        storage::ZoneMap& z = merged[s];
+        const storage::ZoneMap& o = seg.zones[s];
+        if (!z.valid) continue;
+        if (!o.valid) {
+          z.valid = false;
+          continue;
+        }
+        if (Value::Compare(o.min, z.min) < 0) z.min = o.min;
+        if (Value::Compare(o.max, z.max) > 0) z.max = o.max;
+        z.null_count += o.null_count;
+      }
+    }
+    zones[m] = std::move(merged);
+  }
+  return zones;
+}
+
+}  // namespace
+
 std::shared_ptr<SharedScanManager::Slot> SharedScanManager::SlotFor(
     const std::string& key) {
   MutexLock lock(mu_);
@@ -48,20 +95,43 @@ Result<SharedScanManager::Slot*> SharedScanManager::EnsureExtentSlot(
     // Materialize at the manager's pinned snapshot: writer batches that
     // commit while this generation drains do not change what any
     // attached consumer sees.
-    auto extent = store_->Extent(class_id, snapshot_);
-    if (!extent.ok()) {
-      slot->status = extent.status();
-      return;
+    const storage::SegmentVersionRef version =
+        segments_ == nullptr ? nullptr
+                             : segments_->VersionAt(class_id, snapshot_);
+    std::shared_ptr<const std::vector<Oid>> shared;
+    if (version != nullptr) {
+      // Segment-backed: stream the ring's rows through the pager
+      // segment by segment instead of copying the store's extent.
+      auto rows = std::make_shared<std::vector<Oid>>();
+      rows->reserve(version->total_rows);
+      for (const storage::Segment& seg : version->segments) {
+        auto locals = segments_->ReadLocals(seg);
+        if (!locals.ok()) {
+          slot->status = locals.status();
+          return;
+        }
+        for (uint32_t local : locals.value()) {
+          rows->push_back(Oid(class_id, local));
+        }
+      }
+      shared = std::move(rows);
+    } else {
+      auto extent = store_->Extent(class_id, snapshot_);
+      if (!extent.ok()) {
+        slot->status = extent.status();
+        return;
+      }
+      shared = std::make_shared<const std::vector<Oid>>(
+          std::move(extent).value());
     }
-    auto shared = std::make_shared<const std::vector<Oid>>(
-        std::move(extent).value());
     slot->scan.InitExtent(shared, morsel_size_);
-    // Seed the column cache with the extent we just paid for, so the
-    // first property read of this class fills without a second pass.
-    auto locals = std::make_shared<std::vector<uint32_t>>();
-    locals->reserve(shared->size());
-    for (const Oid& oid : *shared) locals->push_back(oid.local);
-    cache_.SeedLocals(class_id, snapshot_, std::move(locals));
+    if (version != nullptr) {
+      slot->scan.SetMorselZones(MorselZonesFor(*version, slot->scan));
+    }
+    // Seed the column cache with the materialization we just paid for,
+    // so the first property read of this class fills without a second
+    // extent pass (and without copying the Oids into a locals index).
+    cache_.SeedExtent(class_id, snapshot_, shared);
     materialized_.fetch_add(1, std::memory_order_relaxed);
   });
   VODAK_RETURN_IF_ERROR(slot->status);

@@ -17,6 +17,7 @@
 #include "common/thread_annotations.h"
 #include "exec/morsel_source.h"
 #include "objstore/property_cache.h"
+#include "storage/segment_store.h"
 #include "types/value.h"
 
 namespace vodak {
@@ -65,6 +66,20 @@ class SharedScan {
     return extent_;
   }
 
+  /// Per-morsel per-slot zone maps, set when the extent materialized
+  /// from the segment store (empty otherwise). The ring is shared by
+  /// queries with *different* predicates, so the scan only carries the
+  /// bounds; each consumer's SharedBatchSource evaluates its own
+  /// query's sargable predicates against them and skips refuted
+  /// morsels privately.
+  void SetMorselZones(std::vector<std::vector<storage::ZoneMap>> zones) {
+    morsel_zones_ = std::move(zones);
+  }
+  /// Zones of morsel `index`, or null when none are known.
+  const std::vector<storage::ZoneMap>* MorselZones(size_t index) const {
+    return index < morsel_zones_.size() ? &morsel_zones_[index] : nullptr;
+  }
+
   /// Where a consumer attaching *now* starts its ring walk: the morsel
   /// the group most recently claimed. Purely a locality hint — a late
   /// attacher rides along with the in-flight scan and wraps around for
@@ -82,6 +97,7 @@ class SharedScan {
  private:
   std::shared_ptr<const std::vector<Oid>> extent_;
   ValueSet elements_;
+  std::vector<std::vector<storage::ZoneMap>> morsel_zones_;
   size_t total_ = 0;
   size_t morsel_size_ = kDefaultMorselSize;
   size_t morsel_count_ = 0;
@@ -102,15 +118,17 @@ class SharedScanConsumer {
   const SharedScan& scan() const { return *scan_; }
 
   /// Claims this consumer's next morsel; false once it has seen the
-  /// whole ring.
-  bool Next(Morsel* morsel) {
+  /// whole ring. `index` (optional) reports the ring position, the key
+  /// into the scan's per-morsel zone maps.
+  bool Next(Morsel* morsel, size_t* index = nullptr) {
     if (scan_ == nullptr || consumed_ >= scan_->morsel_count()) {
       return false;
     }
-    const size_t index = (start_ + consumed_) % scan_->morsel_count();
+    const size_t at = (start_ + consumed_) % scan_->morsel_count();
     ++consumed_;
-    scan_->NoteClaim(index);
-    *morsel = scan_->MorselAt(index);
+    scan_->NoteClaim(at);
+    *morsel = scan_->MorselAt(at);
+    if (index != nullptr) *index = at;
     return true;
   }
 
@@ -144,12 +162,18 @@ class SharedScanConsumer {
 /// single-batch uses that predate the write path.
 class SharedScanManager {
  public:
+  /// `segments` (optional) backs extent materialization with the paged
+  /// segment store: extents whose snapshot a SegmentVersion covers are
+  /// read segment-by-segment through the pager, and the ring carries
+  /// per-morsel zone maps so consumers can skip refuted morsels.
   explicit SharedScanManager(ObjectStore* store,
                              size_t morsel_size = kDefaultMorselSize,
-                             Epoch snapshot = kEpochLatest)
+                             Epoch snapshot = kEpochLatest,
+                             const storage::SegmentStore* segments = nullptr)
       : store_(store),
         morsel_size_(morsel_size == 0 ? 1 : morsel_size),
         snapshot_(snapshot),
+        segments_(segments),
         cache_(store) {}
   SharedScanManager(const SharedScanManager&) = delete;
   SharedScanManager& operator=(const SharedScanManager&) = delete;
@@ -178,6 +202,10 @@ class SharedScanManager {
 
   /// The epoch every source of this manager materializes at.
   Epoch snapshot() const { return snapshot_; }
+
+  /// The segment store backing extent materialization (null: extents
+  /// read from the in-memory store).
+  const storage::SegmentStore* segments() const { return segments_; }
 
   /// Distinct sources materialized so far (== scan passes paid).
   size_t materialized_scans() const {
@@ -221,6 +249,7 @@ class SharedScanManager {
   ObjectStore* store_;
   size_t morsel_size_;
   Epoch snapshot_;
+  const storage::SegmentStore* segments_;
   PropertyColumnCache cache_;
   /// Guards the slot map only; a Slot's contents are published by its
   /// own once_flag (call_once is the synchronization), not by mu_.

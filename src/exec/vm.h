@@ -191,7 +191,11 @@ class VmExec final : public PhysOperator {
   Result<bool> NextBatch(RowBatch* batch) override;
   void Close() override;
   std::string name() const override { return "VmExec"; }
-  std::string params() const override { return program_.summary; }
+  std::string params() const override {
+    // Same uniform source annotation the tree's ScanOp prints: the VM
+    // wraps a BatchSource leaf, and EXPLAIN must say which kind.
+    return program_.summary + " " + source_->annotation();
+  }
   const std::vector<const PhysOperator*> children() const override {
     return {};
   }

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/sargable.h"
 #include "exec/vm.h"
 #include "optimizer/cost_model.h"
 
@@ -167,12 +168,14 @@ int TryLowerNative(const ExprRef& e, Lowering* lower, bool leaf_is_get) {
     lower->program.code.push_back(std::move(in));
     return lower->program.code.back().dst;
   }
-  if (!ExprEvaluator::IsLowerableCompare(e->bin_op())) return -1;
-  const bool const_lhs = e->lhs()->kind() == ExprKind::kConst;
-  const bool const_rhs = e->rhs()->kind() == ExprKind::kConst;
-  if (const_lhs == const_rhs) return -1;  // need exactly one constant
-  const ExprRef& operand = const_lhs ? e->rhs() : e->lhs();
-  const ExprRef& constant = const_lhs ? e->lhs() : e->rhs();
+  // Leaf shape: the shared sargable classifier (exec/sargable.h) —
+  // the same recognizer zone-map pruning uses, so what lowers to a
+  // typed compare loop is exactly what segment scans can refute.
+  const std::optional<SargableCompare> cmp = ClassifySargableCompare(e);
+  if (!cmp) return -1;
+  const ExprRef& operand = cmp->operand;
+  const ExprRef& constant = cmp->constant;
+  const bool const_lhs = cmp->const_lhs;
 
   int reg = -1;
   if (operand->kind() == ExprKind::kVar) {
@@ -271,8 +274,12 @@ Result<VmChoice> TryCompileVm(const algebra::LogicalRef& plan,
       1 + chain.ops.size() + (chain.project != nullptr ? 1 : 0);
   double leaf_rows = opt::CostModel::kAssumedBatchRows;
   if (chain.leaf->op() == LogicalOp::kGet) {
-    const opt::CostModel cost(ctx.catalog, ctx.store, ctx.methods);
-    leaf_rows = cost.ExtentCardinality(chain.leaf->class_name());
+    opt::CostModel cost(ctx.catalog, ctx.store, ctx.methods);
+    // Segment pruning feedback: a zone-map-skipping leaf emits only
+    // the surviving fraction, so the fusion gate prices fewer batches.
+    cost.SetSegmentStore(ctx.segments);
+    leaf_rows = cost.ExtentCardinality(chain.leaf->class_name()) *
+                cost.SegmentSurvivalRate();
   }
   const double batches = opt::CostModel::BatchCount(leaf_rows);
   const double tree_cost =
@@ -343,8 +350,24 @@ Result<VmChoice> TryCompileVm(const algebra::LogicalRef& plan,
       std::to_string(lower.program.code.size()) + " ops over " +
       std::to_string(lower.program.reg_names.size()) + " registers";
 
+  // The chain's sargable conjuncts, through the same classifier that
+  // just lowered the typed compare loops: a segment-backed leaf skips
+  // the segments those compares refute, so the VM never even decodes
+  // rows its own filter instructions would drop.
+  std::vector<storage::SlotPredicate> leaf_preds;
+  if (chain.leaf->op() == LogicalOp::kGet) {
+    const ClassDef* cls = ctx.catalog->FindClass(chain.leaf->class_name());
+    if (cls != nullptr) {
+      for (const LogicalNode* node : chain.ops) {
+        if (node->op() != LogicalOp::kSelect) continue;
+        std::vector<storage::SlotPredicate> got = CollectSargablePredicates(
+            node->expr(), chain.leaf->ref(), *cls);
+        leaf_preds.insert(leaf_preds.end(), got.begin(), got.end());
+      }
+    }
+  }
   VODAK_ASSIGN_OR_RETURN(BatchSourcePtr source,
-                         MakeLeafBatchSource(*chain.leaf, ctx));
+                         MakeLeafBatchSource(*chain.leaf, ctx, &leaf_preds));
   choice.annotation = "[vm: compiled - " + lower.program.summary +
                       "; tree cost " + FormatCost(tree_cost) +
                       " > vm " + FormatCost(vm_cost) + "]\n";

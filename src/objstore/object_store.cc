@@ -229,6 +229,53 @@ Status ObjectStore::GetPropertyColumn(uint32_t class_id, uint32_t slot,
   return Status::OK();
 }
 
+Status ObjectStore::GetPropertyColumn(uint32_t class_id, uint32_t slot,
+                                      const std::vector<Oid>& oids,
+                                      size_t begin, size_t end,
+                                      std::vector<Value>* out,
+                                      Epoch at) const {
+  SharedLock lock(data_mu_);
+  const ClassStorage* cls = FindClass(class_id);
+  if (cls == nullptr) {
+    return Status::NotFound("get: unknown class id " +
+                            std::to_string(class_id));
+  }
+  if (slot >= cls->slot_count) {
+    return Status::InvalidArgument(
+        "get: slot " + std::to_string(slot) +
+        " out of range for class '" + cls->debug_name + "'");
+  }
+  if (begin > end || end > oids.size()) {
+    return Status::InvalidArgument(
+        "get: column range [" + std::to_string(begin) + ", " +
+        std::to_string(end) + ") out of bounds for " +
+        std::to_string(oids.size()) + " oids");
+  }
+  const Epoch epoch = ResolveEpoch(at);
+  size_t emitted = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const Oid oid = oids[i];
+    const Version* v =
+        (oid.class_id != class_id || oid.local == 0 ||
+         oid.local > cls->instances.size())
+            ? nullptr
+            : VisibleVersion(cls->instances[oid.local - 1], epoch);
+    if (v == nullptr || !v->live) {
+      // Counted per object, like GetProperty: charge what was read
+      // before the dangling reference stopped the column.
+      stats_.property_reads.fetch_add(emitted, std::memory_order_relaxed);
+      return Status::NotFound("get: dangling oid " + oid.ToString());
+    }
+    out->push_back(v->slots[slot]);
+    ++emitted;
+  }
+  stats_.property_reads.fetch_add(emitted, std::memory_order_relaxed);
+  if (at != kEpochLatest) {
+    stats_.snapshot_reads.fetch_add(emitted, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
 Status ObjectStore::SetProperty(Oid oid, uint32_t slot, Value value) {
   WriterLock lock(data_mu_);
   VODAK_RETURN_IF_ERROR(

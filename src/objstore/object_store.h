@@ -173,6 +173,17 @@ class ObjectStore {
                            std::vector<Value>* out,
                            Epoch at = kEpochLatest) const;
 
+  /// Oid-vector variant of the range-scoped column read, for callers
+  /// that already hold a materialized extent (shared-scan seeds, the
+  /// segment ingester): reads oids[begin, end) directly, so no caller
+  /// ever copies an extent into a separate locals index vector just to
+  /// satisfy the column API. Every oid must belong to `class_id`.
+  Status GetPropertyColumn(uint32_t class_id, uint32_t slot,
+                           const std::vector<Oid>& oids,
+                           size_t begin, size_t end,
+                           std::vector<Value>* out,
+                           Epoch at = kEpochLatest) const;
+
   /// Instances of a class visible at `at`, in creation order. Counts as
   /// one extent scan in the stats.
   Result<std::vector<Oid>> Extent(uint32_t class_id,

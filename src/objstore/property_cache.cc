@@ -5,13 +5,12 @@
 
 namespace vodak {
 
-void PropertyColumnCache::SeedLocals(
+void PropertyColumnCache::SeedExtent(
     uint32_t class_id, Epoch at,
-    std::shared_ptr<const std::vector<uint32_t>> locals) {
+    std::shared_ptr<const std::vector<Oid>> extent) {
   MutexLock lock(mu_);
-  std::shared_ptr<const std::vector<uint32_t>>& entry =
-      seeded_[{class_id, at}];
-  if (entry == nullptr) entry = std::move(locals);  // first seed wins
+  std::shared_ptr<const std::vector<Oid>>& entry = seeded_[{class_id, at}];
+  if (entry == nullptr) entry = std::move(extent);  // first seed wins
 }
 
 std::shared_ptr<PropertyColumnCache::Column> PropertyColumnCache::EntryFor(
@@ -22,7 +21,7 @@ std::shared_ptr<PropertyColumnCache::Column> PropertyColumnCache::EntryFor(
   return entry;
 }
 
-std::shared_ptr<const std::vector<uint32_t>> PropertyColumnCache::SeededLocals(
+std::shared_ptr<const std::vector<Oid>> PropertyColumnCache::SeededExtent(
     uint32_t class_id, Epoch at) {
   MutexLock lock(mu_);
   auto it = seeded_.find({class_id, at});
@@ -33,8 +32,7 @@ Status PropertyColumnCache::ReadColumn(uint32_t class_id, uint32_t slot,
                                        const std::vector<uint32_t>& locals,
                                        size_t begin, size_t end,
                                        std::vector<Value>* out, Epoch at) {
-  std::shared_ptr<const std::vector<uint32_t>> all =
-      SeededLocals(class_id, at);
+  std::shared_ptr<const std::vector<Oid>> all = SeededExtent(class_id, at);
   if (all == nullptr) {
     // (class, epoch) not covered by the shared scan: read through with
     // the store's own range call at the same epoch. Caching here would
@@ -51,12 +49,12 @@ Status PropertyColumnCache::ReadColumn(uint32_t class_id, uint32_t slot,
                                               0, all->size(), &values, at);
     if (!entry->status.ok()) return;
     uint32_t max_local = 0;
-    for (uint32_t local : *all) max_local = std::max(max_local, local);
+    for (const Oid& oid : *all) max_local = std::max(max_local, oid.local);
     entry->by_local.assign(all->empty() ? 0 : max_local + 1, Value::Null());
     entry->present.assign(entry->by_local.size(), 0);
     for (size_t i = 0; i < all->size(); ++i) {
-      entry->by_local[(*all)[i]] = std::move(values[i]);
-      entry->present[(*all)[i]] = 1;
+      entry->by_local[(*all)[i].local] = std::move(values[i]);
+      entry->present[(*all)[i].local] = 1;
     }
     fills_.fetch_add(1, std::memory_order_relaxed);
   });

@@ -20,7 +20,7 @@ namespace vodak {
 
 /// Read-through cache of whole property columns, shared by the queries
 /// attached to one SharedScanManager. For a class whose extent the
-/// shared scan materialized (registered via SeedLocals), the first
+/// shared scan materialized (registered via SeedExtent), the first
 /// read of a (class, slot) pair materializes the full column with a
 /// single ObjectStore::GetPropertyColumn call; every later read — from
 /// any query, on any worker — is served from the snapshot without
@@ -54,12 +54,15 @@ class PropertyColumnCache {
   PropertyColumnCache(const PropertyColumnCache&) = delete;
   PropertyColumnCache& operator=(const PropertyColumnCache&) = delete;
 
-  /// Registers the locals of a class visible at `at` (the shared
+  /// Registers the extent of a class visible at `at` (the shared
   /// scan's already-materialized extent at its pinned epoch) as
-  /// eligible for full-column caching at that epoch. Only seeded
-  /// (class, epoch) pairs are cached; see the class comment.
-  void SeedLocals(uint32_t class_id, Epoch at,
-                  std::shared_ptr<const std::vector<uint32_t>> locals)
+  /// eligible for full-column caching at that epoch. Takes the Oid
+  /// vector the seeder already holds — the fill reads columns through
+  /// the Oid-vector GetPropertyColumn overload, so seeding shares the
+  /// materialization instead of copying it into a locals index. Only
+  /// seeded (class, epoch) pairs are cached; see the class comment.
+  void SeedExtent(uint32_t class_id, Epoch at,
+                  std::shared_ptr<const std::vector<Oid>> extent)
       EXCLUDES(mu_);
 
   /// Appends the value of `slot` at epoch `at` for every local in
@@ -98,10 +101,10 @@ class PropertyColumnCache {
 
   std::shared_ptr<Column> EntryFor(uint32_t class_id, uint32_t slot,
                                    Epoch at) EXCLUDES(mu_);
-  /// The seeded locals of `class_id` at `at`, or null when that
+  /// The seeded extent of `class_id` at `at`, or null when that
   /// (class, epoch) pair is not covered by a shared scan (read-through
   /// case).
-  std::shared_ptr<const std::vector<uint32_t>> SeededLocals(
+  std::shared_ptr<const std::vector<Oid>> SeededExtent(
       uint32_t class_id, Epoch at) EXCLUDES(mu_);
 
   ObjectStore* store_;
@@ -113,7 +116,7 @@ class PropertyColumnCache {
   std::map<std::tuple<uint32_t, uint32_t, Epoch>, std::shared_ptr<Column>>
       columns_ GUARDED_BY(mu_);
   std::map<std::pair<uint32_t, Epoch>,
-           std::shared_ptr<const std::vector<uint32_t>>>
+           std::shared_ptr<const std::vector<Oid>>>
       seeded_ GUARDED_BY(mu_);
   std::atomic<uint64_t> fills_{0};
   std::atomic<uint64_t> hit_rows_{0};

@@ -188,7 +188,7 @@ void GenerationScheduler::ExecutorLoop() {
     // generation formed, no matter what commits while it drains.
     EpochPin pin(db_->store());
     exec::SharedScanManager manager(db_->store(), options_.morsel_size,
-                                    pin.epoch());
+                                    pin.epoch(), db_->segment_store());
     const StoreStats& store_stats = db_->store()->stats();
     const uint64_t scans_before =
         store_stats.extent_scans.load(std::memory_order_relaxed);
@@ -272,6 +272,7 @@ QueryReply GenerationScheduler::ExecuteMember(
     ctx.cancel = query.cancel.get();
     ctx.deadline = query.deadline;
     ctx.snapshot_epoch = manager->snapshot();
+    ctx.segments = db_->segment_store();
     VODAK_ASSIGN_OR_RETURN(exec::PhysOpPtr root,
                            exec::BuildPhysical(query.plan, ctx));
     VODAK_ASSIGN_OR_RETURN(

@@ -1,0 +1,210 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace vodak {
+namespace storage {
+
+PinnedPage::~PinnedPage() {
+  if (pager_ != nullptr) pager_->Unpin(frame_);
+}
+
+PinnedPage& PinnedPage::operator=(PinnedPage&& other) noexcept {
+  if (this != &other) {
+    if (pager_ != nullptr) pager_->Unpin(frame_);
+    pager_ = other.pager_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    page_id_ = other.page_id_;
+    other.pager_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+uint8_t* PinnedPage::mutable_data() {
+  // Mark dirty eagerly: the frame cannot be evicted while this pin is
+  // held, so the flag is stable until an eviction after unpin writes
+  // the mutation back.
+  pager_->MarkDirty(frame_);
+  return const_cast<uint8_t*>(data_);
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+                                           PagerOptions options) {
+  if (options.page_size == 0 || options.cache_pages == 0) {
+    return Status::InvalidArgument("pager: page_size and cache_pages must be > 0");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("pager: open('" + path +
+                            "') failed: " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("pager: fstat failed: " + err);
+  }
+  const uint64_t file_pages =
+      (static_cast<uint64_t>(st.st_size) + options.page_size - 1) /
+      options.page_size;
+  return std::unique_ptr<Pager>(new Pager(fd, options, file_pages));
+}
+
+Pager::Pager(int fd, PagerOptions options, uint64_t file_pages)
+    : options_(options), fd_(fd) {
+  MutexLock lock(mu_);
+  frames_.resize(options_.cache_pages);
+  for (Frame& f : frames_) f.bytes.resize(options_.page_size);
+  page_extent_ = file_pages;
+}
+
+Pager::~Pager() {
+  (void)Flush();
+  ::close(fd_);
+}
+
+uint64_t Pager::page_count() const {
+  MutexLock lock(mu_);
+  return page_extent_;
+}
+
+uint64_t Pager::Allocate(uint64_t pages) {
+  MutexLock lock(mu_);
+  const uint64_t first = page_extent_;
+  page_extent_ += pages;
+  return first;
+}
+
+Status Pager::ReadPage(uint64_t page_id, uint8_t* out) {
+  const size_t n = options_.page_size;
+  const off_t off = static_cast<off_t>(page_id * n);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got =
+        ::pread(fd_, out + done, n - done, off + static_cast<off_t>(done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("pager: pread failed: ") +
+                              std::strerror(errno));
+    }
+    if (got == 0) {
+      // Past EOF: freshly allocated page, reads as zeros.
+      std::memset(out + done, 0, n - done);
+      return Status::OK();
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status Pager::WritePage(uint64_t page_id, const uint8_t* data) {
+  const size_t n = options_.page_size;
+  const off_t off = static_cast<off_t>(page_id * n);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t put =
+        ::pwrite(fd_, data + done, n - done, off + static_cast<off_t>(done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("pager: pwrite failed: ") +
+                              std::strerror(errno));
+    }
+    done += static_cast<size_t>(put);
+  }
+  return Status::OK();
+}
+
+Result<size_t> Pager::AcquireFrame() {
+  // First pass preference: an unmapped frame costs nothing to claim.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i].mapped) return i;
+  }
+  // Clock second-chance over mapped frames: clear one referenced bit
+  // per visit, evict the first unreferenced unpinned frame. Two full
+  // sweeps guarantee termination when any frame is evictable (the
+  // first sweep can at worst clear every referenced bit).
+  for (size_t step = 0; step < frames_.size() * 2; ++step) {
+    Frame& f = frames_[clock_hand_];
+    const size_t at = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (f.pins > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    if (f.dirty) {
+      VODAK_RETURN_IF_ERROR(WritePage(f.page_id, f.bytes.data()));
+      stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
+      f.dirty = false;
+    }
+    page_table_.erase(f.page_id);
+    f.mapped = false;
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    return at;
+  }
+  return Status::ExecError(
+      "pager: buffer cache exhausted - all " +
+      std::to_string(frames_.size()) +
+      " frames pinned (raise cache_pages or drop pins)");
+}
+
+Result<PinnedPage> Pager::Pin(uint64_t page_id) {
+  MutexLock lock(mu_);
+  if (page_id >= page_extent_) {
+    return Status::InvalidArgument("pager: pin of unallocated page " +
+                                   std::to_string(page_id));
+  }
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    f.pins++;
+    f.referenced = true;
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return PinnedPage(this, it->second, f.bytes.data(), page_id);
+  }
+  stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  VODAK_ASSIGN_OR_RETURN(size_t idx, AcquireFrame());
+  Frame& f = frames_[idx];
+  VODAK_RETURN_IF_ERROR(ReadPage(page_id, f.bytes.data()));
+  f.page_id = page_id;
+  f.mapped = true;
+  f.dirty = false;
+  f.referenced = true;
+  f.pins = 1;
+  page_table_[page_id] = idx;
+  return PinnedPage(this, idx, f.bytes.data(), page_id);
+}
+
+void Pager::Unpin(size_t frame) {
+  MutexLock lock(mu_);
+  frames_[frame].pins--;
+}
+
+void Pager::MarkDirty(size_t frame) {
+  MutexLock lock(mu_);
+  frames_[frame].dirty = true;
+}
+
+Status Pager::Flush() {
+  MutexLock lock(mu_);
+  for (Frame& f : frames_) {
+    if (f.mapped && f.dirty) {
+      VODAK_RETURN_IF_ERROR(WritePage(f.page_id, f.bytes.data()));
+      stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace vodak

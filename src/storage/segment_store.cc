@@ -1,0 +1,249 @@
+#include "storage/segment_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "objstore/object_store.h"
+#include "storage/value_serde.h"
+
+namespace vodak {
+namespace storage {
+
+// The pruning rule (docs/ARCHITECTURE.md §"Paged storage & segment
+// skipping"): min/max bound every row under Value::Compare — the same
+// total order the executor's compare predicates reduce to — so a
+// segment is skipped exactly when the bounds prove the compare false
+// for every row. Null rows are inside the bounds (kNull orders below
+// every other kind), which is what keeps e.g. `col < 5` sound on
+// segments holding nulls: NULL < 5 holds under the total order, and a
+// null-holding segment has min == NULL <= 5, so it is never refuted.
+bool ZoneRefutes(const ZoneMap& zone, BinOp op, const Value& constant) {
+  if (!zone.valid) return false;
+  const int min_vs = Value::Compare(zone.min, constant);
+  const int max_vs = Value::Compare(zone.max, constant);
+  switch (op) {
+    case BinOp::kEq:
+      return min_vs > 0 || max_vs < 0;
+    case BinOp::kNe:
+      // Only refutable when every row equals the constant.
+      return min_vs == 0 && max_vs == 0;
+    case BinOp::kLt:
+      return min_vs >= 0;
+    case BinOp::kLe:
+      return min_vs > 0;
+    case BinOp::kGt:
+      return max_vs <= 0;
+    case BinOp::kGe:
+      return max_vs < 0;
+    default:
+      return false;  // non-compare ops are never sargable
+  }
+}
+
+bool ZonesRefute(const std::vector<ZoneMap>& zones,
+                 const std::vector<SlotPredicate>& preds) {
+  for (const SlotPredicate& p : preds) {
+    if (p.slot < zones.size() &&
+        ZoneRefutes(zones[p.slot], p.op, p.constant)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SegmentRefuted(const Segment& seg,
+                    const std::vector<SlotPredicate>& preds) {
+  return ZonesRefute(seg.zones, preds);
+}
+
+Result<std::unique_ptr<SegmentStore>> SegmentStore::Open(
+    const std::string& path, PagerOptions options) {
+  VODAK_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
+                         Pager::Open(path, options));
+  return std::unique_ptr<SegmentStore>(new SegmentStore(std::move(pager)));
+}
+
+Result<BlobRef> SegmentStore::WriteBlob(const std::string& bytes) {
+  BlobRef ref;
+  ref.byte_size = bytes.size();
+  if (bytes.empty()) return ref;
+  const size_t page_size = pager_->page_size();
+  const uint64_t pages = (bytes.size() + page_size - 1) / page_size;
+  ref.first_page = pager_->Allocate(pages);
+  for (uint64_t i = 0; i < pages; ++i) {
+    VODAK_ASSIGN_OR_RETURN(PinnedPage page, pager_->Pin(ref.first_page + i));
+    const size_t off = static_cast<size_t>(i) * page_size;
+    const size_t n = std::min(page_size, bytes.size() - off);
+    std::memcpy(page.mutable_data(), bytes.data() + off, n);
+  }
+  return ref;
+}
+
+Result<std::string> SegmentStore::ReadBlob(const BlobRef& ref) const {
+  std::string bytes;
+  bytes.reserve(ref.byte_size);
+  const size_t page_size = pager_->page_size();
+  const uint64_t pages = (ref.byte_size + page_size - 1) / page_size;
+  for (uint64_t i = 0; i < pages; ++i) {
+    VODAK_ASSIGN_OR_RETURN(PinnedPage page, pager_->Pin(ref.first_page + i));
+    const size_t off = static_cast<size_t>(i) * page_size;
+    const size_t n =
+        std::min<size_t>(page_size, static_cast<size_t>(ref.byte_size) - off);
+    bytes.append(reinterpret_cast<const char*>(page.data()), n);
+  }
+  return bytes;
+}
+
+Status SegmentStore::IngestClass(const ObjectStore& store, uint32_t class_id,
+                                 uint32_t slot_count, Epoch at,
+                                 const IngestOptions& options) {
+  if (options.rows_per_segment == 0) {
+    return Status::InvalidArgument("segment ingest: rows_per_segment == 0");
+  }
+  VODAK_ASSIGN_OR_RETURN(std::vector<Oid> extent, store.Extent(class_id, at));
+
+  auto version = std::make_shared<SegmentVersion>();
+  version->class_id = class_id;
+  version->begin = at;
+  version->total_rows = extent.size();
+
+  std::vector<bool> tracked(slot_count, true);
+  for (uint32_t slot : options.untracked_slots) {
+    if (slot < slot_count) tracked[slot] = false;
+  }
+
+  const size_t step = options.rows_per_segment;
+  for (size_t begin = 0; begin < extent.size(); begin += step) {
+    const size_t end = std::min(extent.size(), begin + step);
+    Segment seg;
+    seg.first_row = begin;
+    seg.row_count = static_cast<uint32_t>(end - begin);
+
+    std::vector<uint32_t> locals;
+    locals.reserve(seg.row_count);
+    std::string bytes;
+    bytes.reserve(seg.row_count * 4);
+    for (size_t i = begin; i < end; ++i) {
+      locals.push_back(extent[i].local);
+      EncodeU32(extent[i].local, &bytes);
+    }
+    VODAK_ASSIGN_OR_RETURN(seg.locals, WriteBlob(bytes));
+
+    seg.columns.resize(slot_count);
+    seg.zones.resize(slot_count);
+    std::vector<Value> values;
+    for (uint32_t slot = 0; slot < slot_count; ++slot) {
+      values.clear();
+      VODAK_RETURN_IF_ERROR(store.GetPropertyColumn(class_id, slot, extent,
+                                                    begin, end, &values, at));
+      bytes.clear();
+      ZoneMap& zone = seg.zones[slot];
+      for (const Value& v : values) {
+        EncodeValue(v, &bytes);
+        if (tracked[slot]) {
+          if (!zone.valid) {
+            zone.valid = true;
+            zone.min = v;
+            zone.max = v;
+          } else {
+            if (Value::Compare(v, zone.min) < 0) zone.min = v;
+            if (Value::Compare(v, zone.max) > 0) zone.max = v;
+          }
+          if (v.is_null()) zone.null_count++;
+        }
+      }
+      VODAK_ASSIGN_OR_RETURN(seg.columns[slot], WriteBlob(bytes));
+    }
+    version->segments.push_back(std::move(seg));
+  }
+  VODAK_RETURN_IF_ERROR(pager_->Flush());
+
+  MutexLock lock(mu_);
+  std::vector<SegmentVersionRef>& chain = directory_[class_id];
+  if (!chain.empty() && chain.back()->end == kEpochLatest) {
+    // Re-ingest supersedes the open version from `at` on.
+    auto closed = std::make_shared<SegmentVersion>(*chain.back());
+    closed->end = at;
+    chain.back() = std::move(closed);
+  }
+  chain.push_back(std::move(version));
+  return Status::OK();
+}
+
+void SegmentStore::CloseVersions(uint32_t class_id, Epoch end_epoch) {
+  MutexLock lock(mu_);
+  auto it = directory_.find(class_id);
+  if (it == directory_.end() || it->second.empty()) return;
+  const SegmentVersionRef& open = it->second.back();
+  if (open->end != kEpochLatest || open->begin >= end_epoch) return;
+  auto closed = std::make_shared<SegmentVersion>(*open);
+  closed->end = end_epoch;
+  it->second.back() = std::move(closed);
+}
+
+SegmentVersionRef SegmentStore::VersionAt(uint32_t class_id,
+                                          Epoch at) const {
+  MutexLock lock(mu_);
+  auto it = directory_.find(class_id);
+  if (it == directory_.end()) return nullptr;
+  const std::vector<SegmentVersionRef>& chain = it->second;
+  if (at == kEpochLatest) {
+    if (!chain.empty() && chain.back()->end == kEpochLatest) {
+      return chain.back();
+    }
+    return nullptr;
+  }
+  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+    if ((*rit)->begin <= at && at < (*rit)->end) return *rit;
+  }
+  return nullptr;
+}
+
+Result<std::vector<uint32_t>> SegmentStore::ReadLocals(
+    const Segment& seg) const {
+  VODAK_ASSIGN_OR_RETURN(std::string bytes, ReadBlob(seg.locals));
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  size_t pos = 0;
+  std::vector<uint32_t> locals;
+  locals.reserve(seg.row_count);
+  for (uint32_t i = 0; i < seg.row_count; ++i) {
+    VODAK_ASSIGN_OR_RETURN(uint32_t local,
+                           DecodeU32(data, bytes.size(), &pos));
+    locals.push_back(local);
+  }
+  return locals;
+}
+
+Status SegmentStore::ReadColumn(const Segment& seg, uint32_t slot,
+                                std::vector<Value>* out) const {
+  if (slot >= seg.columns.size()) {
+    return Status::InvalidArgument("segment read: slot " +
+                                   std::to_string(slot) + " out of range");
+  }
+  VODAK_ASSIGN_OR_RETURN(std::string bytes, ReadBlob(seg.columns[slot]));
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  size_t pos = 0;
+  out->reserve(out->size() + seg.row_count);
+  for (uint32_t i = 0; i < seg.row_count; ++i) {
+    VODAK_ASSIGN_OR_RETURN(Value v, DecodeValue(data, bytes.size(), &pos));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+double SegmentStore::SurvivalRate() const {
+  const uint64_t scanned =
+      stats_.segments_scanned.load(std::memory_order_relaxed);
+  const uint64_t skipped =
+      stats_.segments_skipped.load(std::memory_order_relaxed);
+  const uint64_t total = scanned + skipped;
+  if (total == 0) return 1.0;
+  // Clamp away from zero: a fully-refuted history must not price
+  // future scans at literally nothing.
+  return std::max(0.01, static_cast<double>(scanned) /
+                            static_cast<double>(total));
+}
+
+}  // namespace storage
+}  // namespace vodak

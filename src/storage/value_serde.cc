@@ -1,0 +1,198 @@
+#include "storage/value_serde.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace vodak {
+namespace storage {
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::Internal(std::string("segment decode: truncated ") + what);
+}
+
+}  // namespace
+
+void EncodeU32(uint32_t v, std::string* out) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
+
+void EncodeU64(uint64_t v, std::string* out) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+Result<uint32_t> DecodeU32(const uint8_t* data, size_t size, size_t* pos) {
+  if (*pos + 4 > size) return Truncated("u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data[*pos + i]) << (8 * i);
+  *pos += 4;
+  return v;
+}
+
+Result<uint64_t> DecodeU64(const uint8_t* data, size_t size, size_t* pos) {
+  if (*pos + 8 > size) return Truncated("u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data[*pos + i]) << (8 * i);
+  *pos += 8;
+  return v;
+}
+
+void EncodeValue(const Value& v, std::string* out) {
+  out->push_back(static_cast<char>(v.kind()));
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      break;
+    case Value::Kind::kBool:
+      out->push_back(v.AsBool() ? 1 : 0);
+      break;
+    case Value::Kind::kInt:
+      EncodeU64(static_cast<uint64_t>(v.AsInt()), out);
+      break;
+    case Value::Kind::kReal: {
+      double d = v.AsReal();
+      uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      EncodeU64(bits, out);
+      break;
+    }
+    case Value::Kind::kString: {
+      const std::string& s = v.AsString();
+      EncodeU32(static_cast<uint32_t>(s.size()), out);
+      out->append(s);
+      break;
+    }
+    case Value::Kind::kOid: {
+      EncodeU32(v.AsOid().class_id, out);
+      EncodeU32(v.AsOid().local, out);
+      break;
+    }
+    case Value::Kind::kSet: {
+      const ValueSet& elems = v.AsSet();
+      EncodeU32(static_cast<uint32_t>(elems.size()), out);
+      for (const Value& e : elems) EncodeValue(e, out);
+      break;
+    }
+    case Value::Kind::kArray: {
+      const ValueArray& elems = v.AsArray();
+      EncodeU32(static_cast<uint32_t>(elems.size()), out);
+      for (const Value& e : elems) EncodeValue(e, out);
+      break;
+    }
+    case Value::Kind::kTuple: {
+      const ValueTuple& fields = v.AsTuple();
+      EncodeU32(static_cast<uint32_t>(fields.size()), out);
+      for (const auto& [name, field] : fields) {
+        EncodeU32(static_cast<uint32_t>(name.size()), out);
+        out->append(name);
+        EncodeValue(field, out);
+      }
+      break;
+    }
+    case Value::Kind::kDict: {
+      const ValueDict& entries = v.AsDict();
+      EncodeU32(static_cast<uint32_t>(entries.size()), out);
+      for (const auto& [key, val] : entries) {
+        EncodeValue(key, out);
+        EncodeValue(val, out);
+      }
+      break;
+    }
+  }
+}
+
+Result<Value> DecodeValue(const uint8_t* data, size_t size, size_t* pos) {
+  if (*pos >= size) return Truncated("tag");
+  const uint8_t tag = data[(*pos)++];
+  if (tag > static_cast<uint8_t>(Value::Kind::kDict)) {
+    return Status::Internal("segment decode: unknown value tag " +
+                            std::to_string(tag));
+  }
+  switch (static_cast<Value::Kind>(tag)) {
+    case Value::Kind::kNull:
+      return Value::Null();
+    case Value::Kind::kBool: {
+      if (*pos >= size) return Truncated("bool");
+      return Value::Bool(data[(*pos)++] != 0);
+    }
+    case Value::Kind::kInt: {
+      VODAK_ASSIGN_OR_RETURN(uint64_t bits, DecodeU64(data, size, pos));
+      return Value::Int(static_cast<int64_t>(bits));
+    }
+    case Value::Kind::kReal: {
+      VODAK_ASSIGN_OR_RETURN(uint64_t bits, DecodeU64(data, size, pos));
+      double d = 0;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::Real(d);
+    }
+    case Value::Kind::kString: {
+      VODAK_ASSIGN_OR_RETURN(uint32_t len, DecodeU32(data, size, pos));
+      if (*pos + len > size) return Truncated("string");
+      Value v = Value::String(
+          std::string(reinterpret_cast<const char*>(data + *pos), len));
+      *pos += len;
+      return v;
+    }
+    case Value::Kind::kOid: {
+      VODAK_ASSIGN_OR_RETURN(uint32_t class_id, DecodeU32(data, size, pos));
+      VODAK_ASSIGN_OR_RETURN(uint32_t local, DecodeU32(data, size, pos));
+      return Value::OfOid(Oid{class_id, local});
+    }
+    case Value::Kind::kSet: {
+      VODAK_ASSIGN_OR_RETURN(uint32_t count, DecodeU32(data, size, pos));
+      std::vector<Value> elems;
+      elems.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        VODAK_ASSIGN_OR_RETURN(Value e, DecodeValue(data, size, pos));
+        elems.push_back(std::move(e));
+      }
+      // Written canonical (sorted + deduped), so rebuild without the
+      // re-sort Value::Set would pay per set.
+      return Value::SetCanonical(std::move(elems));
+    }
+    case Value::Kind::kArray: {
+      VODAK_ASSIGN_OR_RETURN(uint32_t count, DecodeU32(data, size, pos));
+      std::vector<Value> elems;
+      elems.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        VODAK_ASSIGN_OR_RETURN(Value e, DecodeValue(data, size, pos));
+        elems.push_back(std::move(e));
+      }
+      return Value::Array(std::move(elems));
+    }
+    case Value::Kind::kTuple: {
+      VODAK_ASSIGN_OR_RETURN(uint32_t count, DecodeU32(data, size, pos));
+      std::vector<std::pair<std::string, Value>> fields;
+      fields.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        VODAK_ASSIGN_OR_RETURN(uint32_t len, DecodeU32(data, size, pos));
+        if (*pos + len > size) return Truncated("tuple field name");
+        std::string name(reinterpret_cast<const char*>(data + *pos), len);
+        *pos += len;
+        VODAK_ASSIGN_OR_RETURN(Value field, DecodeValue(data, size, pos));
+        fields.emplace_back(std::move(name), std::move(field));
+      }
+      return Value::Tuple(std::move(fields));
+    }
+    case Value::Kind::kDict: {
+      VODAK_ASSIGN_OR_RETURN(uint32_t count, DecodeU32(data, size, pos));
+      std::vector<std::pair<Value, Value>> entries;
+      entries.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        VODAK_ASSIGN_OR_RETURN(Value key, DecodeValue(data, size, pos));
+        VODAK_ASSIGN_OR_RETURN(Value val, DecodeValue(data, size, pos));
+        entries.emplace_back(std::move(key), std::move(val));
+      }
+      return Value::Dict(std::move(entries));
+    }
+  }
+  return Status::Internal("segment decode: unreachable tag");
+}
+
+}  // namespace storage
+}  // namespace vodak

@@ -1,0 +1,37 @@
+// Byte-level (de)serialization of runtime Values for the paged segment
+// files (docs/ARCHITECTURE.md §"Paged storage & segment skipping"). The
+// format is a recursive tag-byte encoding: one byte naming the
+// Value::Kind, then a fixed- or length-prefixed payload. Containers
+// serialize their canonical in-memory order (sets sorted/deduped,
+// tuples field-sorted), so decoding rebuilds canonical values without
+// re-sorting — sets come back through Value::SetCanonical.
+#ifndef VODAK_STORAGE_VALUE_SERDE_H_
+#define VODAK_STORAGE_VALUE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace vodak {
+namespace storage {
+
+/// Appends the encoding of `v` to `out`.
+void EncodeValue(const Value& v, std::string* out);
+
+/// Decodes one value starting at `*pos` in data[0, size); advances
+/// `*pos` past it. Errors on truncated or unknown-tag input (a
+/// corrupted segment file surfaces as a Status, never UB).
+Result<Value> DecodeValue(const uint8_t* data, size_t size, size_t* pos);
+
+/// Fixed-width little-endian helpers shared with the segment headers.
+void EncodeU32(uint32_t v, std::string* out);
+void EncodeU64(uint64_t v, std::string* out);
+Result<uint32_t> DecodeU32(const uint8_t* data, size_t size, size_t* pos);
+Result<uint64_t> DecodeU64(const uint8_t* data, size_t size, size_t* pos);
+
+}  // namespace storage
+}  // namespace vodak
+
+#endif  // VODAK_STORAGE_VALUE_SERDE_H_

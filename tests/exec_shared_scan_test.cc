@@ -209,8 +209,8 @@ TEST_F(ExecSharedScanTest, PropertyCacheFillsOnceThenServesFromSnapshot) {
 
   db_.ResetCounters();
   PropertyColumnCache cache(&db_.store());
-  cache.SeedLocals(paragraph_class_, kEpochLatest,
-                   std::make_shared<const std::vector<uint32_t>>(locals));
+  cache.SeedExtent(paragraph_class_, kEpochLatest,
+                   std::make_shared<const std::vector<Oid>>(extent.value()));
   std::vector<Value> first;
   ASSERT_TRUE(cache.ReadColumn(paragraph_class_, number->slot, locals, 0,
                                locals.size(), &first)
@@ -240,9 +240,9 @@ TEST_F(ExecSharedScanTest, PropertyCacheFallsBackOutsideTheSnapshot) {
   ASSERT_TRUE(extent.ok());
   std::vector<uint32_t> all_locals;
   for (const Oid& oid : extent.value()) all_locals.push_back(oid.local);
-  cache.SeedLocals(
+  cache.SeedExtent(
       paragraph_class_, kEpochLatest,
-      std::make_shared<const std::vector<uint32_t>>(all_locals));
+      std::make_shared<const std::vector<Oid>>(extent.value()));
   std::vector<uint32_t> warm = {all_locals.front()};
   std::vector<Value> out;
   ASSERT_TRUE(cache.ReadColumn(paragraph_class_, number->slot, warm, 0, 1,
@@ -266,7 +266,7 @@ TEST_F(ExecSharedScanTest, PropertyCacheFallsBackOutsideTheSnapshot) {
 }
 
 TEST_F(ExecSharedScanTest, PropertyCacheReadsThroughForUnseededClasses) {
-  // A class the shared scan never materialized (no SeedLocals) must
+  // A class the shared scan never materialized (no SeedExtent) must
   // not be cached: a full-column fill would cost an extent pass plus
   // an extent-sized read the private baseline never pays. The read
   // goes straight to the store instead.

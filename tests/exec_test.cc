@@ -192,7 +192,7 @@ TEST_F(ExecTest, ExplainShowsOperatorTree) {
   std::string explain = ExplainPhysical(*phys.value());
   EXPECT_NE(explain.find("Project"), std::string::npos);
   EXPECT_NE(explain.find("Filter"), std::string::npos);
-  EXPECT_NE(explain.find("ExtentScan(p IN Paragraph)"),
+  EXPECT_NE(explain.find("ExtentScan(p IN Paragraph [source: extent])"),
             std::string::npos);
 }
 

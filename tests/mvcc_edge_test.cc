@@ -122,9 +122,11 @@ TEST_F(MvccEdgeTest, DeleteWhileSharedScanDraining) {
 TEST_F(MvccEdgeTest, UpdateInvalidatesWarmCacheEntryByVersioning) {
   const Epoch before = store_.CurrentEpoch();
   PropertyColumnCache cache(&store_);
+  auto extent = std::make_shared<std::vector<Oid>>(oids_.begin(),
+                                                   oids_.end());
   auto locals = std::make_shared<std::vector<uint32_t>>();
   for (Oid oid : oids_) locals->push_back(oid.local);
-  cache.SeedLocals(class_id_, before, locals);
+  cache.SeedExtent(class_id_, before, extent);
 
   // Warm the (class, slot 0, before) column.
   std::vector<Value> warm;
@@ -149,7 +151,7 @@ TEST_F(MvccEdgeTest, UpdateInvalidatesWarmCacheEntryByVersioning) {
 
   // The new epoch is a different key: seeded + filled independently,
   // and it sees the update.
-  cache.SeedLocals(class_id_, after, locals);
+  cache.SeedExtent(class_id_, after, extent);
   std::vector<Value> fresh;
   ASSERT_TRUE(cache.ReadColumn(class_id_, 0, *locals, 0, locals->size(),
                                &fresh, after)
